@@ -1,0 +1,90 @@
+// Shared helpers for the table-reproduction harnesses: wall-clock timing,
+// LoC counting (Table 1 compares spec size against implementation size),
+// and aligned table printing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scv::bench
+{
+  class Stopwatch
+  {
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    [[nodiscard]] double seconds() const
+    {
+      return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Counts non-empty lines in a source file under the repo root.
+  inline size_t loc_of(const std::string& repo_relative_path)
+  {
+#ifdef SCV_SOURCE_DIR
+    std::ifstream f(std::string(SCV_SOURCE_DIR) + "/" + repo_relative_path);
+#else
+    std::ifstream f(repo_relative_path);
+#endif
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(f, line))
+    {
+      bool blank = true;
+      for (const char c : line)
+      {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+        {
+          blank = false;
+          break;
+        }
+      }
+      if (!blank)
+      {
+        ++lines;
+      }
+    }
+    return lines;
+  }
+
+  inline size_t loc_of(std::initializer_list<const char*> paths)
+  {
+    size_t total = 0;
+    for (const char* p : paths)
+    {
+      total += loc_of(std::string(p));
+    }
+    return total;
+  }
+
+  /// "1.2e+06"-style compact magnitude formatting.
+  inline std::string magnitude(double v)
+  {
+    char buf[32];
+    if (v <= 0)
+    {
+      return "-";
+    }
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+    return buf;
+  }
+
+  inline void print_rule(int width = 100)
+  {
+    for (int i = 0; i < width; ++i)
+    {
+      std::putchar('-');
+    }
+    std::putchar('\n');
+  }
+}

@@ -1,0 +1,191 @@
+// Google-benchmark micro benchmarks for the substrates: hashing, Merkle
+// tree maintenance, message serialization, the simulated network, the KV
+// store, single-node protocol steps, and spec-state fingerprinting. These
+// quantify the cost of the building blocks the verification workloads
+// (Table 1) are made of.
+#include <benchmark/benchmark.h>
+
+#include "consensus/raft_node.h"
+#include "crypto/merkle_tree.h"
+#include "crypto/sha256.h"
+#include "kv/store.h"
+#include "net/sim_network.h"
+#include "spec/spec.h"
+#include "specs/consensus/spec.h"
+
+using namespace scv;
+
+static void BM_Sha256(benchmark::State& state)
+{
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state)
+  {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(
+    static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_MerkleAppend(benchmark::State& state)
+{
+  const auto leaf = crypto::sha256("leaf");
+  for (auto _ : state)
+  {
+    crypto::MerkleTree tree;
+    for (int i = 0; i < state.range(0); ++i)
+    {
+      tree.append(leaf);
+    }
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(
+    static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MerkleAppend)->Arg(16)->Arg(256);
+
+static void BM_MerkleProof(benchmark::State& state)
+{
+  crypto::MerkleTree tree;
+  for (int i = 0; i < 256; ++i)
+  {
+    tree.append(crypto::sha256("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state)
+  {
+    benchmark::DoNotOptimize(tree.path(128));
+  }
+}
+BENCHMARK(BM_MerkleProof);
+
+static void BM_MessageSerialize(benchmark::State& state)
+{
+  consensus::AppendEntriesRequest m;
+  m.term = 3;
+  m.leader = 1;
+  m.prev_idx = 10;
+  m.prev_term = 2;
+  m.leader_commit = 8;
+  for (int i = 0; i < state.range(0); ++i)
+  {
+    consensus::Entry e;
+    e.term = 3;
+    e.data = "payload-" + std::to_string(i);
+    m.entries.push_back(e);
+  }
+  const consensus::Message msg(m);
+  for (auto _ : state)
+  {
+    const auto bytes = consensus::serialize(msg);
+    benchmark::DoNotOptimize(consensus::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_MessageSerialize)->Arg(0)->Arg(8);
+
+static void BM_NetworkSendDeliver(benchmark::State& state)
+{
+  net::SimNetwork<int> network;
+  Rng rng(1);
+  for (auto _ : state)
+  {
+    network.send(1, 2, 42, 0, rng);
+    benchmark::DoNotOptimize(network.deliver_one(0, rng));
+  }
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+static void BM_KvApplyCommit(benchmark::State& state)
+{
+  for (auto _ : state)
+  {
+    kv::Store store;
+    for (int i = 0; i < 64; ++i)
+    {
+      store.apply({{{"key" + std::to_string(i % 8), "value"}}});
+    }
+    store.commit(64);
+    benchmark::DoNotOptimize(store.get("key3"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_KvApplyCommit);
+
+static void BM_RaftReplicationRound(benchmark::State& state)
+{
+  // One full leader round: client request, signature, quorum ack, commit.
+  consensus::NodeConfig cfg;
+  cfg.id = 1;
+  cfg.rng_seed = 3;
+  for (auto _ : state)
+  {
+    state.PauseTiming();
+    consensus::RaftNode leader(cfg, {1, 2, 3}, 1);
+    state.ResumeTiming();
+    leader.client_request("x");
+    leader.emit_signature();
+    leader.receive(
+      2, consensus::AppendEntriesResponse{1, 2, true, leader.last_index()});
+    benchmark::DoNotOptimize(leader.commit_index());
+    (void)leader.take_outbox();
+  }
+}
+BENCHMARK(BM_RaftReplicationRound);
+
+static void BM_RaftFollowerAppend(benchmark::State& state)
+{
+  consensus::NodeConfig cfg;
+  cfg.id = 2;
+  cfg.rng_seed = 3;
+  consensus::Entry e;
+  e.term = 1;
+  e.type = consensus::EntryType::Data;
+  e.data = "x";
+  for (auto _ : state)
+  {
+    state.PauseTiming();
+    consensus::RaftNode follower(cfg, {1, 2, 3}, 1);
+    state.ResumeTiming();
+    for (consensus::Index i = 0; i < 32; ++i)
+    {
+      follower.receive(
+        1, consensus::AppendEntriesRequest{1, 1, 2 + i, 1, 2, {e}});
+    }
+    (void)follower.take_outbox();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_RaftFollowerAppend);
+
+static void BM_SpecFingerprint(benchmark::State& state)
+{
+  specs::ccfraft::Params p;
+  p.n_nodes = 3;
+  const auto s = specs::ccfraft::initial_state(p);
+  for (auto _ : state)
+  {
+    benchmark::DoNotOptimize(spec::fingerprint(s));
+  }
+}
+BENCHMARK(BM_SpecFingerprint);
+
+static void BM_SpecExpandAll(benchmark::State& state)
+{
+  specs::ccfraft::Params p;
+  p.n_nodes = 3;
+  p.max_requests = 2;
+  const auto spec = specs::ccfraft::build_spec(p);
+  const auto s = specs::ccfraft::initial_state(p);
+  for (auto _ : state)
+  {
+    size_t successors = 0;
+    for (const auto& action : spec.actions)
+    {
+      action.expand(
+        s, [&successors](const specs::ccfraft::State&) { ++successors; });
+    }
+    benchmark::DoNotOptimize(successors);
+  }
+}
+BENCHMARK(BM_SpecExpandAll);
+
+BENCHMARK_MAIN();

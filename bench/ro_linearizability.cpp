@@ -1,0 +1,60 @@
+// Reproduces §7 "Non-linearizability of read-only transactions": model
+// checking of the consistency spec refutes ObservedRoInv — the paper
+// reports a 12-step counterexample found in four seconds — while every
+// guaranteed property holds. The counterexample is printed in full (it is
+// the paper's published scenario: a still-active old leader answers a
+// read-only transaction that misses a committed read-write transaction).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "spec/model_checker.h"
+#include "specs/consistency/spec.h"
+
+using namespace scv;
+using namespace scv::bench;
+using namespace scv::specs::consistency;
+
+int main()
+{
+  std::printf(
+    "Read-only linearizability counterexample (paper: 12 steps, ~4s)\n\n");
+
+  Params p;
+  p.max_rw_txs = 1;
+  p.max_ro_txs = 1;
+  p.max_branches = 2;
+  p.include_observed_ro = true;
+  const auto spec = build_spec(p);
+
+  Stopwatch sw;
+  const auto result = spec::model_check(spec);
+  const double seconds = sw.seconds();
+
+  if (result.ok || !result.counterexample.has_value())
+  {
+    std::printf("** expected a counterexample, found none **\n");
+    return 1;
+  }
+
+  std::printf(
+    "violated property : %s\n", result.counterexample->property.c_str());
+  std::printf(
+    "counterexample    : %zu steps (paper: 12)\n",
+    result.counterexample->steps.size() - 1);
+  std::printf("time to find      : %.3fs (paper: ~4s)\n", seconds);
+  std::printf(
+    "states explored   : %llu distinct\n\n",
+    static_cast<unsigned long long>(result.stats.distinct_states));
+
+  std::printf("%s\n", result.counterexample->to_string().c_str());
+
+  // Control: the guaranteed properties hold exhaustively on this model.
+  Params safe = p;
+  safe.include_observed_ro = false;
+  const auto control = spec::model_check(build_spec(safe));
+  std::printf(
+    "control (guaranteed properties only): %s, %s\n",
+    control.ok ? "all hold" : "** VIOLATION **",
+    control.stats.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Consistency explorer (§5, §7): model-checks the client consistency spec.
+//
+// Without arguments it verifies the guaranteed properties exhaustively and
+// then refutes ObservedRoInv — printing the interactively explorable
+// counterexample the paper publishes for "non-linearizability of read-only
+// transactions".
+//
+//   ./consistency_explorer [max_rw] [max_ro] [max_branches]
+#include <cstdio>
+#include <cstdlib>
+
+#include "spec/model_checker.h"
+#include "specs/consistency/spec.h"
+
+using namespace scv;
+using namespace scv::specs::consistency;
+
+int main(int argc, char** argv)
+{
+  Params p;
+  p.max_rw_txs = argc > 1 ? static_cast<uint8_t>(std::atoi(argv[1])) : 2;
+  p.max_ro_txs = argc > 2 ? static_cast<uint8_t>(std::atoi(argv[2])) : 1;
+  p.max_branches = argc > 3 ? static_cast<uint8_t>(std::atoi(argv[3])) : 2;
+
+  std::printf(
+    "model: up to %d rw txs, %d ro txs, %d log branches\n\n",
+    p.max_rw_txs,
+    p.max_ro_txs,
+    p.max_branches);
+
+  // 1. The guaranteed properties hold exhaustively.
+  p.include_observed_ro = false;
+  {
+    const auto spec = build_spec(p);
+    spec::CheckLimits limits;
+    limits.time_budget_seconds = 120.0;
+    const auto result = spec::model_check(spec, limits);
+    std::printf("guaranteed properties (");
+    for (size_t i = 0; i < spec.invariants.size(); ++i)
+    {
+      std::printf("%s%s", i ? ", " : "", spec.invariants[i].name.c_str());
+    }
+    std::printf(
+      "):\n  %s\n  %s\n\n",
+      result.ok ? "ALL HOLD" : "VIOLATION FOUND (?!)",
+      result.stats.summary().c_str());
+    if (!result.ok)
+    {
+      std::printf("%s\n", result.counterexample->to_string().c_str());
+      return 1;
+    }
+  }
+
+  // 2. Linearizability of read-only transactions does NOT hold.
+  p.include_observed_ro = true;
+  {
+    const auto result = spec::model_check(build_spec(p));
+    if (result.ok)
+    {
+      std::printf("ObservedRoInv unexpectedly held\n");
+      return 1;
+    }
+    std::printf(
+      "ObservedRoInv (linearizability of read-only transactions):\n"
+      "  REFUTED in %.3fs with a %zu-step counterexample "
+      "(paper: 12 steps, ~4s)\n\n",
+      result.stats.seconds,
+      result.counterexample->steps.size() - 1);
+    std::printf("%s\n", result.counterexample->to_string().c_str());
+    std::printf(
+      "Reading the counterexample: a read-write transaction commits on the\n"
+      "new leader's branch, but a read-only transaction is then answered by\n"
+      "the old, still-active leader from a branch that misses it. Every\n"
+      "response the client saw is individually justified (serializable),\n"
+      "yet the real-time order is not respected (not linearizable) — the\n"
+      "guarantee CCF documents for read-only transactions (§7).\n");
+  }
+  return 0;
+}

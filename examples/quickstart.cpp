@@ -1,0 +1,89 @@
+// Quickstart: a three-node CCF-style service in ~60 lines.
+//
+// Boots a cluster, submits client transactions, emits a signature, waits
+// for commit, inspects transaction status and the replicated KV state,
+// verifies the ledger's Merkle-signed integrity, and runs the cross-node
+// invariant checker.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "consensus/receipt.h"
+#include "driver/cluster.h"
+#include "driver/invariants.h"
+
+using namespace scv;
+using namespace scv::driver;
+
+int main()
+{
+  // A three-node service; node 1 bootstraps as the term-1 leader.
+  ClusterOptions options;
+  options.initial_config = {1, 2, 3};
+  options.initial_leader = 1;
+  options.seed = 2026;
+  Cluster cluster(options);
+  InvariantChecker invariants(cluster);
+
+  // Submit transactions; the leader executes and answers immediately
+  // (before replication!) with a transaction id.
+  const auto tx1 = cluster.submit("transfer:alice->bob:10");
+  const auto tx2 = cluster.submit("transfer:bob->carol:5");
+  std::printf("submitted tx %s and %s\n",
+    tx1->to_string().c_str(), tx2->to_string().c_str());
+  std::printf("status(tx2) right after submit: %s\n",
+    consensus::to_string(cluster.node(1).status(*tx2)));
+
+  // Nothing commits until a signature transaction is replicated.
+  const auto sig = cluster.sign();
+  std::printf("signature tx %s emitted\n", sig->to_string().c_str());
+
+  // Run the cluster until the signature commits everywhere.
+  for (int i = 0; i < 100; ++i)
+  {
+    cluster.tick_all();
+    cluster.drain();
+    if (!invariants.check().empty())
+    {
+      std::printf("INVARIANT VIOLATION\n");
+      return 1;
+    }
+  }
+
+  for (const NodeId id : cluster.node_ids())
+  {
+    const auto& node = cluster.node(id);
+    std::printf(
+      "node %llu: role=%s term=%llu log=%llu commit=%llu status(tx2)=%s\n",
+      static_cast<unsigned long long>(id),
+      consensus::to_string(node.role()),
+      static_cast<unsigned long long>(node.current_term()),
+      static_cast<unsigned long long>(node.last_index()),
+      static_cast<unsigned long long>(node.commit_index()),
+      consensus::to_string(node.status(*tx2)));
+    // The replicated application state.
+    const auto value =
+      cluster.store(id).get("app." + std::to_string(tx2->index));
+    std::printf("         kv[app.%llu] = %s\n",
+      static_cast<unsigned long long>(tx2->index),
+      value ? value->c_str() : "(missing)");
+  }
+
+  // Offline auditability (§2.1): a receipt proves tx2 is covered by a
+  // leader-signed Merkle root — verifiable without the ledger — and the
+  // whole ledger can be audited signature by signature.
+  const auto& ledger = cluster.node(2).ledger();
+  const auto receipt = consensus::make_receipt(ledger, tx2->index);
+  const auto audit = consensus::audit_ledger(ledger);
+  std::printf(
+    "ledger audit: receipt for tx2 %s; full audit: %s "
+    "(%zu signatures checked)\n",
+    receipt && consensus::verify_receipt(*receipt) ? "verifies" : "BROKEN",
+    audit.message.c_str(),
+    audit.signatures_checked);
+
+  std::printf(
+    "invariants checked clean throughout: %s\n",
+    invariants.ok() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Re-injectable historical bugs (Table 2 of the paper).
+//
+// Each flag restores one of the six real bugs that smart casual
+// verification found in CCF's consensus protocol before they reached
+// production. The same flags exist on the spec side
+// (specs/consensus/spec.h), so every experiment can show the relevant
+// checker catching the bug: exhaustive model checking for the quorum tally,
+// simulation for commit-advance-on-NACK, trace validation for the
+// spec/implementation discrepancies, and scenario tests for the rest.
+//
+// All flags default to false: the default build is the fixed protocol.
+#pragma once
+
+namespace scv::consensus
+{
+  struct BugFlags
+  {
+    /// Bug 1 (safety): tally election and commit quorums against the
+    /// *union* of active configurations instead of requiring a majority in
+    /// each one. Two leaders can then be elected in one term during a
+    /// reconfiguration. (CCF #3837, #3948, #4018)
+    bool quorum_union_tally = false;
+
+    /// Bug 2 (safety): advance the commit index on a bare quorum of
+    /// AE-ACKs, omitting Raft's §5.4.2 requirement that the entry was
+    /// appended in the leader's current term. (CCF #3828, #3950, #3971)
+    bool commit_prev_term = false;
+
+    /// The *first, incorrect* fix for bug 2: when becoming leader, clear
+    /// the set of committable (signature) indices instead of rolling the
+    /// log back to the last signature. Breaks the implicit invariant that
+    /// committable indices contain all signatures. (CCF #5674)
+    bool clear_committable_on_election = false;
+
+    /// Bug 3 (safety): on an AE-NACK, reuse the response-handling path and
+    /// overwrite match_index with the NACK's last_idx estimate, allowing
+    /// match_index to move arbitrarily and commit to advance on a NACK.
+    /// (CCF #5324, #5325)
+    bool nack_overwrites_match_index = false;
+
+    /// Bug 4 (safety): on an AE whose window starts before the end of the
+    /// local log, roll back to the AE start optimistically instead of only
+    /// on a true conflict, allowing committed entries to be truncated.
+    /// (CCF #5927, #5991, #6016)
+    bool truncate_on_early_ae = false;
+
+    /// Bug 5 (safety): answer AE-ACKs with the *local* last index rather
+    /// than the last index covered by the received AE, over-reporting
+    /// replication when the suffix may be incompatible. (CCF #6001, #6016)
+    bool ack_local_last_idx = false;
+
+    /// Bug 6 (liveness): stop participating in elections and replication
+    /// as soon as the node's removal is ordered in its log, rather than
+    /// waiting for its retirement to commit; can leave the network unable
+    /// to make progress. (CCF #5919, #5973)
+    bool premature_retirement = false;
+  };
+}

@@ -1,0 +1,122 @@
+#include "consensus/configuration.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace scv::consensus
+{
+  bool Configuration::contains(NodeId n) const
+  {
+    return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+  }
+
+  void Configurations::rebuild(const Ledger& ledger)
+  {
+    configs_.clear();
+    for (Index i = 1; i <= ledger.last_index(); ++i)
+    {
+      const Entry& e = ledger.at(i);
+      if (e.type == EntryType::Reconfiguration)
+      {
+        configs_.push_back({i, e.config});
+      }
+    }
+    SCV_CHECK_MSG(
+      !configs_.empty(), "ledger must start with a configuration entry");
+  }
+
+  void Configurations::on_append(Index idx, const Entry& entry)
+  {
+    if (entry.type == EntryType::Reconfiguration)
+    {
+      SCV_CHECK(configs_.empty() || configs_.back().idx < idx);
+      configs_.push_back({idx, entry.config});
+    }
+  }
+
+  std::vector<Configuration> Configurations::active(Index commit_idx) const
+  {
+    SCV_CHECK(!configs_.empty());
+    std::vector<Configuration> out;
+    // Last configuration at or below the commit index.
+    size_t current = 0;
+    for (size_t i = 0; i < configs_.size(); ++i)
+    {
+      if (configs_[i].idx <= commit_idx)
+      {
+        current = i;
+      }
+    }
+    for (size_t i = current; i < configs_.size(); ++i)
+    {
+      out.push_back(configs_[i]);
+    }
+    return out;
+  }
+
+  const Configuration& Configurations::current(Index commit_idx) const
+  {
+    SCV_CHECK(!configs_.empty());
+    size_t current = 0;
+    for (size_t i = 0; i < configs_.size(); ++i)
+    {
+      if (configs_[i].idx <= commit_idx)
+      {
+        current = i;
+      }
+    }
+    return configs_[current];
+  }
+
+  std::set<NodeId> Configurations::active_nodes(Index commit_idx) const
+  {
+    std::set<NodeId> out;
+    for (const auto& c : active(commit_idx))
+    {
+      out.insert(c.nodes.begin(), c.nodes.end());
+    }
+    return out;
+  }
+
+  bool Configurations::is_active_member(NodeId node, Index commit_idx) const
+  {
+    return active_nodes(commit_idx).contains(node);
+  }
+
+  bool Configurations::quorum_in_each(
+    Index commit_idx, const std::function<bool(NodeId)>& has) const
+  {
+    for (const auto& config : active(commit_idx))
+    {
+      size_t count = 0;
+      for (const NodeId n : config.nodes)
+      {
+        if (has(n))
+        {
+          ++count;
+        }
+      }
+      if (count < quorum_size(config.nodes.size()))
+      {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Configurations::quorum_in_union(
+    Index commit_idx, const std::function<bool(NodeId)>& has) const
+  {
+    const std::set<NodeId> nodes = active_nodes(commit_idx);
+    size_t count = 0;
+    for (const NodeId n : nodes)
+    {
+      if (has(n))
+      {
+        ++count;
+      }
+    }
+    return count >= quorum_size(nodes.size());
+  }
+}

@@ -1,0 +1,73 @@
+// Tracking of active configurations and joint quorums (§2.1 "From
+// bootstrapping to retirement").
+//
+// Configurations are ordinary log entries (updates to ccf.gov.nodes.info).
+// A configuration is *pending* while its entry is ordered but uncommitted;
+// the *current* configuration is the one with the highest committed index.
+// Quorum tests (election tallies, commit advancement) must pass in the
+// current configuration AND in every pending one — bug 1 in Table 2 was
+// tallying against the union instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "consensus/ledger.h"
+#include "consensus/types.h"
+
+namespace scv::consensus
+{
+  struct Configuration
+  {
+    Index idx = 0; // log index of the Reconfiguration entry; 0 = bootstrap
+    std::vector<NodeId> nodes; // sorted
+
+    [[nodiscard]] bool contains(NodeId n) const;
+
+    bool operator==(const Configuration&) const = default;
+  };
+
+  class Configurations
+  {
+  public:
+    /// Rebuilds the configuration list by scanning a ledger. Called after
+    /// bootstrap and after any truncation.
+    void rebuild(const Ledger& ledger);
+
+    /// Incremental update when an entry is appended at `idx`.
+    void on_append(Index idx, const Entry& entry);
+
+    /// Configurations in force given the commit index: the last one at or
+    /// below commit_idx plus every pending one above it.
+    [[nodiscard]] std::vector<Configuration> active(Index commit_idx) const;
+
+    /// The highest configuration at or below commit_idx.
+    [[nodiscard]] const Configuration& current(Index commit_idx) const;
+
+    /// Union of node sets over all active configurations.
+    [[nodiscard]] std::set<NodeId> active_nodes(Index commit_idx) const;
+
+    [[nodiscard]] bool is_active_member(NodeId node, Index commit_idx) const;
+
+    /// True if `has(n)` holds for a majority of each active configuration.
+    /// `self` is treated as satisfied implicitly by passing it through
+    /// `has` — callers decide.
+    [[nodiscard]] bool quorum_in_each(
+      Index commit_idx, const std::function<bool(NodeId)>& has) const;
+
+    /// The buggy variant (Table 2, bug 1): a single majority over the union
+    /// of all active configurations.
+    [[nodiscard]] bool quorum_in_union(
+      Index commit_idx, const std::function<bool(NodeId)>& has) const;
+
+    [[nodiscard]] const std::vector<Configuration>& all() const
+    {
+      return configs_;
+    }
+
+  private:
+    std::vector<Configuration> configs_; // ascending by idx; never empty
+  };
+}

@@ -1,0 +1,92 @@
+#include "consensus/ledger.h"
+
+#include "util/check.h"
+
+namespace scv::consensus
+{
+  Term Ledger::term_at(Index idx) const
+  {
+    if (idx == 0 || idx > entries_.size())
+    {
+      return 0;
+    }
+    return entries_[idx - 1].term;
+  }
+
+  const Entry& Ledger::at(Index idx) const
+  {
+    SCV_CHECK_MSG(
+      idx >= 1 && idx <= entries_.size(), "ledger index out of range: " << idx);
+    return entries_[idx - 1];
+  }
+
+  Index Ledger::append(Entry entry)
+  {
+    tree_.append(entry_digest(entry));
+    entries_.push_back(std::move(entry));
+    return entries_.size();
+  }
+
+  void Ledger::truncate(Index new_last)
+  {
+    SCV_CHECK(new_last <= entries_.size());
+    entries_.resize(new_last);
+    tree_.truncate(new_last);
+  }
+
+  crypto::Path Ledger::proof(Index idx) const
+  {
+    SCV_CHECK(idx >= 1 && idx <= entries_.size());
+    return tree_.path(idx - 1);
+  }
+
+  Index Ledger::last_signature_at_or_before(Index idx) const
+  {
+    for (Index i = std::min<Index>(idx, entries_.size()); i >= 1; --i)
+    {
+      if (entries_[i - 1].type == EntryType::Signature)
+      {
+        return i;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Index> Ledger::signature_indices_after(Index after) const
+  {
+    std::vector<Index> out;
+    for (Index i = after + 1; i <= entries_.size(); ++i)
+    {
+      if (entries_[i - 1].type == EntryType::Signature)
+      {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  Index Ledger::agreement_estimate(Index bound, Term max_term) const
+  {
+    for (Index i = std::min<Index>(bound, entries_.size()); i >= 1; --i)
+    {
+      if (entries_[i - 1].term <= max_term)
+      {
+        return i;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<Entry> Ledger::window(Index from, Index to) const
+  {
+    SCV_CHECK(from <= to);
+    SCV_CHECK(to <= entries_.size());
+    std::vector<Entry> out;
+    out.reserve(to - from);
+    for (Index i = from + 1; i <= to; ++i)
+    {
+      out.push_back(entries_[i - 1]);
+    }
+    return out;
+  }
+}

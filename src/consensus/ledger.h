@@ -1,0 +1,84 @@
+// The replicated log with its Merkle tree (§2.1 "Signature transactions").
+//
+// Every appended entry contributes a leaf to an incremental Merkle tree;
+// signature transactions embed the root over the whole log so far, signed
+// by the current leader, giving offline log integrity and transaction
+// provenance. Truncation (follower rollback of a conflicting suffix) keeps
+// the tree in sync.
+//
+// Indices are 1-based; index 0 means "nothing".
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "consensus/types.h"
+#include "crypto/merkle_tree.h"
+
+namespace scv::consensus
+{
+  class Ledger
+  {
+  public:
+    [[nodiscard]] Index last_index() const
+    {
+      return entries_.size();
+    }
+
+    [[nodiscard]] bool empty() const
+    {
+      return entries_.empty();
+    }
+
+    /// Term of the entry at idx; 0 when idx is 0 or out of range.
+    [[nodiscard]] Term term_at(Index idx) const;
+
+    [[nodiscard]] const Entry& at(Index idx) const;
+
+    [[nodiscard]] Term last_term() const
+    {
+      return term_at(last_index());
+    }
+
+    /// Appends and returns the new entry's index.
+    Index append(Entry entry);
+
+    /// Drops all entries after new_last.
+    void truncate(Index new_last);
+
+    /// Merkle root over all entries currently in the log.
+    [[nodiscard]] crypto::Digest root() const
+    {
+      return tree_.root();
+    }
+
+    /// Inclusion proof for the entry at idx against the current root.
+    [[nodiscard]] crypto::Path proof(Index idx) const;
+
+    /// Index of the last Signature entry at or before idx (0 if none).
+    [[nodiscard]] Index last_signature_at_or_before(Index idx) const;
+
+    /// Indices of all Signature entries strictly after `after`.
+    [[nodiscard]] std::vector<Index> signature_indices_after(Index after) const;
+
+    /// Express-catch-up estimate (§2.1): the largest index i <= bound whose
+    /// term is <= max_term — the follower's safe best guess of a point of
+    /// agreement with a leader whose log has (prev_idx=bound,
+    /// prev_term=max_term). Skips whole terms of divergence rather than
+    /// stepping back one index at a time.
+    [[nodiscard]] Index agreement_estimate(Index bound, Term max_term) const;
+
+    /// Copies entries in (from, to] for an AppendEntries payload.
+    [[nodiscard]] std::vector<Entry> window(Index from, Index to) const;
+
+    [[nodiscard]] const std::vector<Entry>& entries() const
+    {
+      return entries_;
+    }
+
+  private:
+    std::vector<Entry> entries_;
+    crypto::MerkleTree tree_;
+  };
+}

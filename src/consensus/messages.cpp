@@ -1,0 +1,412 @@
+#include "consensus/messages.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace scv::consensus
+{
+  namespace
+  {
+    enum class Tag : uint8_t
+    {
+      AppendEntriesRequest = 1,
+      AppendEntriesResponse = 2,
+      RequestVoteRequest = 3,
+      RequestVoteResponse = 4,
+      ProposeRequestVote = 5,
+    };
+
+    class Writer
+    {
+    public:
+      void u8(uint8_t v)
+      {
+        out_.push_back(v);
+      }
+
+      void u64(uint64_t v)
+      {
+        for (int i = 0; i < 8; ++i)
+        {
+          out_.push_back(static_cast<uint8_t>(v >> (i * 8)));
+        }
+      }
+
+      void boolean(bool v)
+      {
+        u8(v ? 1 : 0);
+      }
+
+      void bytes(const std::vector<uint8_t>& data)
+      {
+        u64(data.size());
+        out_.insert(out_.end(), data.begin(), data.end());
+      }
+
+      void str(const std::string& s)
+      {
+        u64(s.size());
+        out_.insert(out_.end(), s.begin(), s.end());
+      }
+
+      void digest(const crypto::Digest& d)
+      {
+        out_.insert(out_.end(), d.begin(), d.end());
+      }
+
+      void entry(const Entry& e)
+      {
+        u64(e.term);
+        u8(static_cast<uint8_t>(e.type));
+        str(e.data);
+        u64(e.config.size());
+        for (const NodeId n : e.config)
+        {
+          u64(n);
+        }
+        u64(e.retiring_node);
+        digest(e.root);
+        bytes(e.signature);
+        u64(e.signer);
+      }
+
+      std::vector<uint8_t> take()
+      {
+        return std::move(out_);
+      }
+
+    private:
+      std::vector<uint8_t> out_;
+    };
+
+    class Reader
+    {
+    public:
+      explicit Reader(const std::vector<uint8_t>& data) : data_(data) {}
+
+      bool u8(uint8_t& v)
+      {
+        if (pos_ + 1 > data_.size())
+        {
+          return false;
+        }
+        v = data_[pos_++];
+        return true;
+      }
+
+      bool u64(uint64_t& v)
+      {
+        if (pos_ + 8 > data_.size())
+        {
+          return false;
+        }
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+        {
+          v |= static_cast<uint64_t>(data_[pos_++]) << (i * 8);
+        }
+        return true;
+      }
+
+      bool boolean(bool& v)
+      {
+        uint8_t b{};
+        if (!u8(b) || b > 1)
+        {
+          return false;
+        }
+        v = b == 1;
+        return true;
+      }
+
+      bool bytes(std::vector<uint8_t>& out)
+      {
+        uint64_t n{};
+        if (!u64(n) || pos_ + n > data_.size())
+        {
+          return false;
+        }
+        out.assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+        pos_ += n;
+        return true;
+      }
+
+      bool str(std::string& out)
+      {
+        uint64_t n{};
+        if (!u64(n) || pos_ + n > data_.size())
+        {
+          return false;
+        }
+        out.assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+        pos_ += n;
+        return true;
+      }
+
+      bool digest(crypto::Digest& d)
+      {
+        if (pos_ + d.size() > data_.size())
+        {
+          return false;
+        }
+        std::memcpy(d.data(), data_.data() + pos_, d.size());
+        pos_ += d.size();
+        return true;
+      }
+
+      bool entry(Entry& e)
+      {
+        uint8_t type{};
+        if (!u64(e.term) || !u8(type) ||
+            type > static_cast<uint8_t>(EntryType::Retirement) ||
+            !str(e.data))
+        {
+          return false;
+        }
+        e.type = static_cast<EntryType>(type);
+        uint64_t n_config{};
+        if (!u64(n_config) || n_config > remaining() / 8)
+        {
+          return false;
+        }
+        e.config.resize(n_config);
+        for (auto& node : e.config)
+        {
+          if (!u64(node))
+          {
+            return false;
+          }
+        }
+        return u64(e.retiring_node) && digest(e.root) && bytes(e.signature) &&
+          u64(e.signer);
+      }
+
+      [[nodiscard]] bool done() const
+      {
+        return pos_ == data_.size();
+      }
+
+      [[nodiscard]] size_t remaining() const
+      {
+        return data_.size() - pos_;
+      }
+
+    private:
+      const std::vector<uint8_t>& data_;
+      size_t pos_ = 0;
+    };
+  }
+
+  std::vector<uint8_t> serialize(const Message& msg)
+  {
+    Writer w;
+    std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          w.u8(static_cast<uint8_t>(Tag::AppendEntriesRequest));
+          w.u64(m.term);
+          w.u64(m.leader);
+          w.u64(m.prev_idx);
+          w.u64(m.prev_term);
+          w.u64(m.leader_commit);
+          w.u64(m.entries.size());
+          for (const Entry& e : m.entries)
+          {
+            w.entry(e);
+          }
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          w.u8(static_cast<uint8_t>(Tag::AppendEntriesResponse));
+          w.u64(m.term);
+          w.u64(m.from);
+          w.boolean(m.success);
+          w.u64(m.last_idx);
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          w.u8(static_cast<uint8_t>(Tag::RequestVoteRequest));
+          w.u64(m.term);
+          w.u64(m.candidate);
+          w.u64(m.last_log_idx);
+          w.u64(m.last_log_term);
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          w.u8(static_cast<uint8_t>(Tag::RequestVoteResponse));
+          w.u64(m.term);
+          w.u64(m.from);
+          w.boolean(m.granted);
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, ProposeRequestVote>);
+          w.u8(static_cast<uint8_t>(Tag::ProposeRequestVote));
+          w.u64(m.term);
+          w.u64(m.from);
+        }
+      },
+      msg);
+    return w.take();
+  }
+
+  std::optional<Message> deserialize(const std::vector<uint8_t>& bytes)
+  {
+    Reader r(bytes);
+    uint8_t tag{};
+    if (!r.u8(tag))
+    {
+      return std::nullopt;
+    }
+    switch (static_cast<Tag>(tag))
+    {
+      case Tag::AppendEntriesRequest:
+      {
+        AppendEntriesRequest m;
+        uint64_t n_entries{};
+        if (
+          !r.u64(m.term) || !r.u64(m.leader) || !r.u64(m.prev_idx) ||
+          !r.u64(m.prev_term) || !r.u64(m.leader_commit) || !r.u64(n_entries))
+        {
+          return std::nullopt;
+        }
+        // Each entry serializes to >= 8 bytes; reject absurd counts early.
+        if (n_entries > r.remaining() / 8)
+        {
+          return std::nullopt;
+        }
+        m.entries.resize(n_entries);
+        for (Entry& e : m.entries)
+        {
+          if (!r.entry(e))
+          {
+            return std::nullopt;
+          }
+        }
+        if (!r.done())
+        {
+          return std::nullopt;
+        }
+        return Message(std::move(m));
+      }
+      case Tag::AppendEntriesResponse:
+      {
+        AppendEntriesResponse m;
+        if (
+          !r.u64(m.term) || !r.u64(m.from) || !r.boolean(m.success) ||
+          !r.u64(m.last_idx) || !r.done())
+        {
+          return std::nullopt;
+        }
+        return Message(m);
+      }
+      case Tag::RequestVoteRequest:
+      {
+        RequestVoteRequest m;
+        if (
+          !r.u64(m.term) || !r.u64(m.candidate) || !r.u64(m.last_log_idx) ||
+          !r.u64(m.last_log_term) || !r.done())
+        {
+          return std::nullopt;
+        }
+        return Message(m);
+      }
+      case Tag::RequestVoteResponse:
+      {
+        RequestVoteResponse m;
+        if (
+          !r.u64(m.term) || !r.u64(m.from) || !r.boolean(m.granted) ||
+          !r.done())
+        {
+          return std::nullopt;
+        }
+        return Message(m);
+      }
+      case Tag::ProposeRequestVote:
+      {
+        ProposeRequestVote m;
+        if (!r.u64(m.term) || !r.u64(m.from) || !r.done())
+        {
+          return std::nullopt;
+        }
+        return Message(m);
+      }
+    }
+    return std::nullopt;
+  }
+
+  const char* message_type_name(const Message& msg)
+  {
+    return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          return "AppendEntriesRequest";
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          return "AppendEntriesResponse";
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          return "RequestVoteRequest";
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          return "RequestVoteResponse";
+        }
+        else
+        {
+          return "ProposeRequestVote";
+        }
+      },
+      msg);
+  }
+
+  json::Value message_to_json(const Message& msg)
+  {
+    json::Object o;
+    o.emplace_back("type", json::Value(std::string(message_type_name(msg))));
+    std::visit(
+      [&o](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        o.emplace_back("term", json::Value(m.term));
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          o.emplace_back("leader", json::Value(m.leader));
+          o.emplace_back("prev_idx", json::Value(m.prev_idx));
+          o.emplace_back("prev_term", json::Value(m.prev_term));
+          o.emplace_back("leader_commit", json::Value(m.leader_commit));
+          o.emplace_back("n_entries", json::Value(m.entries.size()));
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          o.emplace_back("from", json::Value(m.from));
+          o.emplace_back("success", json::Value(m.success));
+          o.emplace_back("last_idx", json::Value(m.last_idx));
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          o.emplace_back("candidate", json::Value(m.candidate));
+          o.emplace_back("last_log_idx", json::Value(m.last_log_idx));
+          o.emplace_back("last_log_term", json::Value(m.last_log_term));
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          o.emplace_back("from", json::Value(m.from));
+          o.emplace_back("granted", json::Value(m.granted));
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, ProposeRequestVote>);
+          o.emplace_back("from", json::Value(m.from));
+        }
+      },
+      msg);
+    return json::Value(std::move(o));
+  }
+}

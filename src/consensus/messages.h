@@ -1,0 +1,94 @@
+// Consensus wire messages.
+//
+// CCF uses a uni-directional messaging layer rather than RPCs (§2.1): a
+// response cannot be correlated with the request that caused it, so
+// AppendEntriesResponse carries an explicit LAST_IDX field — for an ACK,
+// the last index covered by the acknowledged AE (bug 5 was ACKing the local
+// last index instead); for a NACK, the follower's safe best-estimate of an
+// agreement point, enabling express catch-up.
+//
+// Messages serialize to a canonical byte format (used for wire-level tests
+// and fingerprinting) and to JSON (used in diagnostics).
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "consensus/types.h"
+#include "util/json.h"
+
+namespace scv::consensus
+{
+  struct AppendEntriesRequest
+  {
+    Term term = 0;
+    NodeId leader = 0;
+    /// Index/term immediately preceding the carried window.
+    Index prev_idx = 0;
+    Term prev_term = 0;
+    Index leader_commit = 0;
+    /// Entries covering (prev_idx, prev_idx + entries.size()].
+    std::vector<Entry> entries;
+
+    bool operator==(const AppendEntriesRequest&) const = default;
+  };
+
+  struct AppendEntriesResponse
+  {
+    Term term = 0;
+    NodeId from = 0;
+    bool success = false;
+    /// ACK: last index covered by the acknowledged AE.
+    /// NACK: follower's best safe estimate of an agreement point.
+    Index last_idx = 0;
+
+    bool operator==(const AppendEntriesResponse&) const = default;
+  };
+
+  struct RequestVoteRequest
+  {
+    Term term = 0;
+    NodeId candidate = 0;
+    Index last_log_idx = 0;
+    Term last_log_term = 0;
+
+    bool operator==(const RequestVoteRequest&) const = default;
+  };
+
+  struct RequestVoteResponse
+  {
+    Term term = 0;
+    NodeId from = 0;
+    bool granted = false;
+
+    bool operator==(const RequestVoteResponse&) const = default;
+  };
+
+  /// Sent by a retiring leader to fast-track its successor's election
+  /// (transition ④ in Fig. 1).
+  struct ProposeRequestVote
+  {
+    Term term = 0;
+    NodeId from = 0;
+
+    bool operator==(const ProposeRequestVote&) const = default;
+  };
+
+  using Message = std::variant<
+    AppendEntriesRequest,
+    AppendEntriesResponse,
+    RequestVoteRequest,
+    RequestVoteResponse,
+    ProposeRequestVote>;
+
+  /// Canonical byte serialization; deserialize returns nullopt on any
+  /// malformed input (never throws, never reads out of bounds).
+  std::vector<uint8_t> serialize(const Message& msg);
+  std::optional<Message> deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Human-readable JSON rendering for diagnostics.
+  json::Value message_to_json(const Message& msg);
+
+  const char* message_type_name(const Message& msg);
+}

@@ -1,0 +1,1105 @@
+#include "consensus/raft_node.h"
+
+#include <algorithm>
+
+#include "crypto/signer.h"
+#include "util/check.h"
+
+namespace scv::consensus
+{
+  RaftNode::RaftNode(
+    NodeConfig config, std::vector<NodeId> initial_config, NodeId initial_leader) :
+    config_(config),
+    rng_(config.rng_seed ^ (config.id * 0x9e3779b97f4a7c15ULL))
+  {
+    SCV_CHECK_MSG(!initial_config.empty(), "initial configuration is empty");
+    std::sort(initial_config.begin(), initial_config.end());
+    SCV_CHECK(
+      std::adjacent_find(initial_config.begin(), initial_config.end()) ==
+      initial_config.end());
+    SCV_CHECK_MSG(
+      std::find(
+        initial_config.begin(), initial_config.end(), initial_leader) !=
+        initial_config.end(),
+      "initial leader must be in the initial configuration");
+
+    // Every log begins with the initial configuration transaction followed
+    // by a signature transaction (§2.1), both committed in term 1.
+    current_term_ = 1;
+
+    Entry config_entry;
+    config_entry.term = 1;
+    config_entry.type = EntryType::Reconfiguration;
+    config_entry.config = initial_config;
+    ledger_.append(config_entry);
+    configurations_.on_append(1, config_entry);
+
+    Entry sig;
+    sig.term = 1;
+    sig.type = EntryType::Signature;
+    sig.root = ledger_.root();
+    sig.signer = initial_leader;
+    sig.signature = crypto::Signer(initial_leader).sign(sig.root);
+    ledger_.append(sig);
+
+    commit_index_ = 2;
+    leader_hint_ = initial_leader;
+
+    if (config_.id == initial_leader)
+    {
+      role_ = Role::Leader;
+      voted_for_ = config_.id;
+      for (const NodeId n : replication_targets())
+      {
+        sent_index_[n] = ledger_.last_index();
+        match_index_[n] = 0;
+        last_ack_tick_[n] = 0;
+      }
+    }
+    reset_election_deadline();
+    emit(base_event(trace::EventKind::Bootstrap));
+  }
+
+  // --- helpers -----------------------------------------------------------
+
+  uint64_t RaftNode::now() const
+  {
+    return clock_ ? clock_() : local_ticks_;
+  }
+
+  trace::TraceEvent RaftNode::base_event(trace::EventKind kind) const
+  {
+    trace::TraceEvent e;
+    e.ts = now();
+    e.kind = kind;
+    e.node = config_.id;
+    e.term = current_term_;
+    e.log_len = ledger_.last_index();
+    e.commit_idx = commit_index_;
+    return e;
+  }
+
+  void RaftNode::emit(trace::TraceEvent event)
+  {
+    if (trace_sink_)
+    {
+      trace_sink_(event);
+    }
+  }
+
+  void RaftNode::send(NodeId to, Message msg)
+  {
+    trace::TraceEvent e = base_event(trace::EventKind::Bootstrap);
+    e.peer = to;
+    std::visit(
+      [&e](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        e.msg_term = m.term;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          e.kind = trace::EventKind::SendAppendEntries;
+          e.prev_idx = m.prev_idx;
+          e.prev_term = m.prev_term;
+          e.n_entries = m.entries.size();
+          e.last_idx = m.leader_commit;
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          e.kind = trace::EventKind::SendAppendEntriesResponse;
+          e.success = m.success;
+          e.last_idx = m.last_idx;
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          e.kind = trace::EventKind::SendRequestVote;
+          e.prev_idx = m.last_log_idx;
+          e.prev_term = m.last_log_term;
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          e.kind = trace::EventKind::SendRequestVoteResponse;
+          e.success = m.granted;
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, ProposeRequestVote>);
+          e.kind = trace::EventKind::SendProposeVote;
+        }
+      },
+      msg);
+    emit(e);
+    outbox_.push_back({to, std::move(msg)});
+  }
+
+  std::vector<Outbound> RaftNode::take_outbox()
+  {
+    std::vector<Outbound> out;
+    out.swap(outbox_);
+    return out;
+  }
+
+  bool RaftNode::participating() const
+  {
+    if (role_ == Role::Retired)
+    {
+      return false;
+    }
+    if (membership_ == MembershipState::RetirementCompleted)
+    {
+      return false;
+    }
+    // Bug 6: a node with its removal merely *ordered* already goes silent.
+    if (
+      config_.bugs.premature_retirement &&
+      membership_ != MembershipState::Active)
+    {
+      return false;
+    }
+    return true;
+  }
+
+  Index RaftNode::sent_index(NodeId peer) const
+  {
+    const auto it = sent_index_.find(peer);
+    return it != sent_index_.end() ? it->second : 0;
+  }
+
+  Index RaftNode::match_index(NodeId peer) const
+  {
+    const auto it = match_index_.find(peer);
+    return it != match_index_.end() ? it->second : 0;
+  }
+
+  std::set<NodeId> RaftNode::replication_targets() const
+  {
+    // Union over every configuration in the log: nodes removed by a
+    // pending or even committed reconfiguration must keep receiving
+    // AppendEntries until they have been *told* that their retirement
+    // transaction committed, so that they can switch off (§2.1).
+    std::set<NodeId> out;
+    for (const auto& c : configurations_.all())
+    {
+      out.insert(c.nodes.begin(), c.nodes.end());
+    }
+    for (const NodeId n : retirement_notified_)
+    {
+      out.erase(n);
+    }
+    out.erase(config_.id);
+    return out;
+  }
+
+  bool RaftNode::quorum(const std::function<bool(NodeId)>& has) const
+  {
+    if (config_.bugs.quorum_union_tally)
+    {
+      return configurations_.quorum_in_union(commit_index_, has);
+    }
+    return configurations_.quorum_in_each(commit_index_, has);
+  }
+
+  bool RaftNode::log_up_to_date(Index last_idx, Term last_term) const
+  {
+    if (last_term != ledger_.last_term())
+    {
+      return last_term > ledger_.last_term();
+    }
+    return last_idx >= ledger_.last_index();
+  }
+
+  void RaftNode::reset_election_deadline()
+  {
+    election_deadline_ = local_ticks_ +
+      rng_.between(
+        config_.election_timeout_min, config_.election_timeout_max);
+  }
+
+  // --- role transitions ----------------------------------------------------
+
+  void RaftNode::update_term(Term term)
+  {
+    if (term > current_term_)
+    {
+      current_term_ = term;
+      voted_for_.reset();
+      leader_hint_.reset();
+      if (role_ == Role::Leader || role_ == Role::Candidate)
+      {
+        become_follower(term, "higher term observed");
+      }
+    }
+  }
+
+  void RaftNode::become_follower(Term term, const char* reason)
+  {
+    (void)reason;
+    SCV_CHECK(term >= current_term_);
+    current_term_ = term;
+    if (role_ != Role::Retired)
+    {
+      role_ = Role::Follower;
+    }
+    votes_granted_.clear();
+    sent_index_.clear();
+    match_index_.clear();
+    last_ack_tick_.clear();
+    propose_vote_sent_ = false;
+    reset_election_deadline();
+    emit(base_event(trace::EventKind::BecomeFollower));
+  }
+
+  void RaftNode::become_candidate()
+  {
+    if (!participating() || role_ == Role::Leader)
+    {
+      return;
+    }
+    // Only members of an active configuration may seek leadership.
+    if (!configurations_.is_active_member(config_.id, commit_index_))
+    {
+      return;
+    }
+
+    // CCF candidates roll their log back to the last signature: an unsigned
+    // suffix can never commit, and discarding it keeps term boundaries at
+    // signatures (MonoLogInv, §4).
+    if (!config_.bugs.clear_committable_on_election)
+    {
+      const Index last_sig =
+        ledger_.last_signature_at_or_before(ledger_.last_index());
+      if (last_sig < ledger_.last_index())
+      {
+        rollback(std::max(last_sig, commit_index_), "candidate rollback");
+      }
+    }
+
+    role_ = Role::Candidate;
+    current_term_ += 1;
+    voted_for_ = config_.id;
+    leader_hint_.reset();
+    votes_granted_ = {config_.id};
+    reset_election_deadline();
+    emit(base_event(trace::EventKind::BecomeCandidate));
+
+    RequestVoteRequest rv;
+    rv.term = current_term_;
+    rv.candidate = config_.id;
+    rv.last_log_idx = ledger_.last_index();
+    rv.last_log_term = ledger_.last_term();
+    for (const NodeId n : replication_targets())
+    {
+      send(n, rv);
+    }
+
+    // Single-node configurations elect themselves immediately.
+    const auto has = [this](NodeId n) { return votes_granted_.contains(n); };
+    if (quorum(has))
+    {
+      become_leader();
+    }
+  }
+
+  void RaftNode::become_leader()
+  {
+    SCV_CHECK(role_ == Role::Candidate);
+    role_ = Role::Leader;
+    leader_hint_ = config_.id;
+    propose_vote_sent_ = false;
+    sent_index_.clear();
+    match_index_.clear();
+    last_ack_tick_.clear();
+    for (const NodeId n : replication_targets())
+    {
+      sent_index_[n] = ledger_.last_index();
+      match_index_[n] = 0;
+      last_ack_tick_[n] = local_ticks_;
+    }
+    last_heartbeat_tick_ = local_ticks_;
+    last_check_quorum_tick_ = local_ticks_;
+    emit(base_event(trace::EventKind::BecomeLeader));
+
+    if (config_.bugs.clear_committable_on_election)
+    {
+      // The incorrect first fix for "commit advance for previous term":
+      // empty the committable set instead of rolling back (Table 2).
+      committable_indices_.clear();
+    }
+
+    // A new leader signs immediately: nothing from an earlier term can
+    // commit until a signature from the current term is replicated.
+    emit_signature();
+  }
+
+  // --- inputs --------------------------------------------------------------
+
+  void RaftNode::tick()
+  {
+    local_ticks_ += 1;
+    if (!participating())
+    {
+      return;
+    }
+
+    if (role_ == Role::Follower || role_ == Role::Candidate)
+    {
+      if (local_ticks_ >= election_deadline_)
+      {
+        become_candidate();
+      }
+      return;
+    }
+
+    if (role_ == Role::Leader)
+    {
+      if (local_ticks_ - last_heartbeat_tick_ >= config_.heartbeat_interval)
+      {
+        broadcast_append_entries();
+      }
+      if (
+        config_.check_quorum_interval != 0 &&
+        local_ticks_ - last_check_quorum_tick_ >= config_.check_quorum_interval)
+      {
+        check_quorum();
+      }
+    }
+  }
+
+  void RaftNode::force_timeout()
+  {
+    // Leaders do not time out (Fig. 1): forcing an election on a leader
+    // first makes it abdicate, as CheckQuorum would.
+    if (role_ == Role::Leader)
+    {
+      emit(base_event(trace::EventKind::CheckQuorumStepDown));
+      become_follower(current_term_, "forced step down");
+    }
+    become_candidate();
+  }
+
+  void RaftNode::receive(NodeId from, const Message& msg)
+  {
+    if (!participating())
+    {
+      return;
+    }
+
+    // Log the receipt with the *pre*-state: trace validation binds this
+    // event to the spec action that performs the handling (§6.2).
+    trace::TraceEvent e = base_event(trace::EventKind::Bootstrap);
+    e.peer = from;
+    std::visit(
+      [&e](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        e.msg_term = m.term;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          e.kind = trace::EventKind::RecvAppendEntries;
+          e.prev_idx = m.prev_idx;
+          e.prev_term = m.prev_term;
+          e.n_entries = m.entries.size();
+          e.last_idx = m.leader_commit;
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          e.kind = trace::EventKind::RecvAppendEntriesResponse;
+          e.success = m.success;
+          e.last_idx = m.last_idx;
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          e.kind = trace::EventKind::RecvRequestVote;
+          e.prev_idx = m.last_log_idx;
+          e.prev_term = m.last_log_term;
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          e.kind = trace::EventKind::RecvRequestVoteResponse;
+          e.success = m.granted;
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, ProposeRequestVote>);
+          e.kind = trace::EventKind::RecvProposeVote;
+        }
+      },
+      msg);
+    emit(e);
+
+    std::visit(
+      [this, from](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AppendEntriesRequest>)
+        {
+          handle_append_entries(from, m);
+        }
+        else if constexpr (std::is_same_v<T, AppendEntriesResponse>)
+        {
+          handle_append_entries_response(from, m);
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteRequest>)
+        {
+          handle_request_vote(from, m);
+        }
+        else if constexpr (std::is_same_v<T, RequestVoteResponse>)
+        {
+          handle_request_vote_response(from, m);
+        }
+        else
+        {
+          handle_propose_vote(from, m);
+        }
+      },
+      msg);
+  }
+
+  std::optional<TxId> RaftNode::client_request(std::string data)
+  {
+    if (
+      !participating() || role_ != Role::Leader ||
+      membership_ != MembershipState::Active)
+    {
+      return std::nullopt;
+    }
+    Entry e;
+    e.term = current_term_;
+    e.type = EntryType::Data;
+    e.data = std::move(data);
+    const Index idx = append_entry(std::move(e));
+    emit(base_event(trace::EventKind::ClientRequest));
+    broadcast_append_entries();
+    return TxId{current_term_, idx};
+  }
+
+  std::optional<TxId> RaftNode::emit_signature()
+  {
+    if (!participating() || role_ != Role::Leader)
+    {
+      return std::nullopt;
+    }
+    Entry e;
+    e.term = current_term_;
+    e.type = EntryType::Signature;
+    e.root = ledger_.root();
+    e.signer = config_.id;
+    e.signature = crypto::Signer(config_.id).sign(e.root);
+    const Index idx = append_entry(std::move(e));
+    emit(base_event(trace::EventKind::EmitSignature));
+    broadcast_append_entries();
+    try_advance_commit();
+    return TxId{current_term_, idx};
+  }
+
+  std::optional<TxId> RaftNode::propose_reconfiguration(
+    std::vector<NodeId> new_nodes)
+  {
+    if (
+      !participating() || role_ != Role::Leader ||
+      membership_ != MembershipState::Active)
+    {
+      return std::nullopt;
+    }
+    SCV_CHECK_MSG(!new_nodes.empty(), "cannot reconfigure to an empty set");
+    std::sort(new_nodes.begin(), new_nodes.end());
+    new_nodes.erase(
+      std::unique(new_nodes.begin(), new_nodes.end()), new_nodes.end());
+
+    Entry e;
+    e.term = current_term_;
+    e.type = EntryType::Reconfiguration;
+    e.config = new_nodes;
+    const Index idx = append_entry(std::move(e));
+
+    trace::TraceEvent ev = base_event(trace::EventKind::ChangeConfiguration);
+    ev.config = new_nodes;
+    emit(ev);
+
+    // New joiners need replication state initialized.
+    for (const NodeId n : replication_targets())
+    {
+      if (!sent_index_.contains(n))
+      {
+        // Start from the configuration entry's predecessor: the joiner's
+        // log is empty apart from bootstrap state it fetched out of band,
+        // so the first AE will NACK and express catch-up takes over.
+        sent_index_[n] = ledger_.last_index();
+        match_index_[n] = 0;
+        last_ack_tick_[n] = local_ticks_;
+      }
+    }
+    broadcast_append_entries();
+    return TxId{current_term_, idx};
+  }
+
+  Index RaftNode::append_entry(Entry entry)
+  {
+    const Index idx = ledger_.append(entry);
+    configurations_.on_append(idx, ledger_.at(idx));
+    if (ledger_.at(idx).type == EntryType::Signature)
+    {
+      committable_indices_.insert(idx);
+    }
+    note_membership_on_append(idx, ledger_.at(idx));
+    return idx;
+  }
+
+  void RaftNode::note_membership_on_append(Index idx, const Entry& entry)
+  {
+    (void)idx;
+    if (entry.type != EntryType::Reconfiguration)
+    {
+      return;
+    }
+    if (membership_ == MembershipState::RetirementCompleted)
+    {
+      return;
+    }
+    const bool in_latest =
+      std::find(entry.config.begin(), entry.config.end(), config_.id) !=
+      entry.config.end();
+    if (!in_latest && membership_ == MembershipState::Active)
+    {
+      membership_ = MembershipState::RetirementOrdered;
+    }
+    else if (in_latest && membership_ == MembershipState::RetirementOrdered)
+    {
+      // Re-added before the removal committed.
+      membership_ = MembershipState::Active;
+    }
+  }
+
+  // --- AppendEntries -------------------------------------------------------
+
+  void RaftNode::send_append_entries(NodeId to)
+  {
+    const Index start = std::min(sent_index_[to], ledger_.last_index());
+    const Index end =
+      std::min(ledger_.last_index(), start + config_.max_entries_per_ae);
+
+    AppendEntriesRequest m;
+    m.term = current_term_;
+    m.leader = config_.id;
+    m.prev_idx = start;
+    m.prev_term = ledger_.term_at(start);
+    m.leader_commit = commit_index_;
+    m.entries = ledger_.window(start, end);
+
+    // Optimistic acknowledgement (§2.1): advance the sent index as soon as
+    // the AE leaves, so pipelined requests don't resend this window. Rolled
+    // back if the follower NACKs.
+    sent_index_[to] = end;
+
+    // If this AE tells a retired node that its retirement committed (the
+    // window starts at or past the retirement entry and the carried commit
+    // covers it), the node can now switch off; stop replicating to it.
+    if (retired_nodes_.contains(to) && !retirement_notified_.contains(to))
+    {
+      for (Index i = 1; i <= commit_index_; ++i)
+      {
+        const Entry& e = ledger_.at(i);
+        if (
+          e.type == EntryType::Retirement && e.retiring_node == to &&
+          start >= i)
+        {
+          retirement_notified_.insert(to);
+          break;
+        }
+      }
+    }
+    send(to, std::move(m));
+  }
+
+  void RaftNode::broadcast_append_entries()
+  {
+    for (const NodeId n : replication_targets())
+    {
+      send_append_entries(n);
+    }
+    last_heartbeat_tick_ = local_ticks_;
+  }
+
+  void RaftNode::handle_append_entries(
+    NodeId from, const AppendEntriesRequest& m)
+  {
+    if (m.term < current_term_)
+    {
+      // Stale leader: our higher term in the response makes it step down.
+      AppendEntriesResponse resp;
+      resp.term = current_term_;
+      resp.from = config_.id;
+      resp.success = false;
+      resp.last_idx = 0;
+      send(from, resp);
+      return;
+    }
+
+    update_term(m.term);
+    if (role_ == Role::Candidate)
+    {
+      become_follower(current_term_, "leader exists for this term");
+    }
+    if (role_ == Role::Leader)
+    {
+      // Same-term AE from another leader: impossible unless election
+      // safety is already broken (bug 1); drop rather than cascade.
+      return;
+    }
+    leader_hint_ = m.leader;
+    reset_election_deadline();
+
+    const bool have_prev = m.prev_idx == 0 ||
+      (m.prev_idx <= ledger_.last_index() &&
+       ledger_.term_at(m.prev_idx) == m.prev_term);
+
+    if (!have_prev)
+    {
+      Index bound = std::min(m.prev_idx, ledger_.last_index());
+      if (
+        bound == m.prev_idx && bound >= 1 &&
+        ledger_.term_at(bound) <= m.prev_term)
+      {
+        // Conflict at prev itself with an older local term: agreement must
+        // be strictly earlier.
+        bound -= 1;
+      }
+      AppendEntriesResponse resp;
+      resp.term = current_term_;
+      resp.from = config_.id;
+      resp.success = false;
+      if (config_.naive_catch_up)
+      {
+        // Vanilla Raft: retreat one index per round trip (always strictly
+        // below the probed prev so the search makes progress).
+        resp.last_idx =
+          std::min<Index>(bound, m.prev_idx == 0 ? 0 : m.prev_idx - 1);
+      }
+      else
+      {
+        // Express catch-up (§2.1): NACK with a safe best-estimate of the
+        // agreement point, skipping whole terms of divergence.
+        resp.last_idx = ledger_.agreement_estimate(bound, m.prev_term);
+      }
+      send(from, resp);
+      return;
+    }
+
+    if (
+      config_.bugs.truncate_on_early_ae && ledger_.last_index() > m.prev_idx)
+    {
+      // Bug 4: treat any AE window starting before the end of the local
+      // log (e.g. a leader answering a stale NACK) as a conflicting suffix
+      // and roll back *before* checking whether the overlap actually
+      // conflicts — this can discard committed entries.
+      rollback(m.prev_idx, "optimistic rollback on early AE");
+    }
+
+    // Append, truncating only on a true conflict.
+    Index idx = m.prev_idx;
+    for (const Entry& entry : m.entries)
+    {
+      idx += 1;
+      if (idx <= ledger_.last_index())
+      {
+        if (ledger_.term_at(idx) != entry.term)
+        {
+          rollback(idx - 1, "conflicting suffix");
+          append_entry(entry);
+        }
+        // Otherwise the entry is already present (Log Matching).
+      }
+      else
+      {
+        append_entry(entry);
+      }
+    }
+
+    const Index ae_end = m.prev_idx + m.entries.size();
+
+    // Commit is bounded by what this AE covered (entries beyond it are not
+    // confirmed to match the leader's log) and snaps to a signature: a
+    // transaction is only committed once a subsequent signature is (§2.1),
+    // so the commit index always rests on a signature transaction.
+    const Index commit_target = ledger_.last_signature_at_or_before(
+      std::min(m.leader_commit, ae_end));
+    if (commit_target > commit_index_)
+    {
+      advance_commit_to(commit_target);
+    }
+
+    AppendEntriesResponse resp;
+    resp.term = current_term_;
+    resp.from = config_.id;
+    resp.success = true;
+    // Bug 5: report the local last index, which may extend past the AE with
+    // a suffix the leader never confirmed.
+    resp.last_idx =
+      config_.bugs.ack_local_last_idx ? ledger_.last_index() : ae_end;
+    send(from, resp);
+  }
+
+  void RaftNode::handle_append_entries_response(
+    NodeId from, const AppendEntriesResponse& m)
+  {
+    if (m.term > current_term_)
+    {
+      update_term(m.term);
+      return;
+    }
+    if (role_ != Role::Leader || m.term < current_term_)
+    {
+      return;
+    }
+
+    last_ack_tick_[from] = local_ticks_;
+
+    if (m.success)
+    {
+      match_index_[from] = std::max(match_index_[from], m.last_idx);
+      sent_index_[from] = std::max(sent_index_[from], m.last_idx);
+      try_advance_commit();
+      if (sent_index_[from] < ledger_.last_index())
+      {
+        send_append_entries(from);
+      }
+      return;
+    }
+
+    // AE-NACK: roll back the optimistic sent index to the follower's
+    // agreement estimate and re-send a catch-up batch from there.
+    if (config_.bugs.nack_overwrites_match_index)
+    {
+      // Bug 3: response-handling code reuse let the NACK's estimate
+      // overwrite match_index, so commit could advance on a NACK.
+      match_index_[from] = m.last_idx;
+      try_advance_commit();
+    }
+    sent_index_[from] = std::min(m.last_idx, ledger_.last_index());
+    send_append_entries(from);
+  }
+
+  // --- votes ----------------------------------------------------------------
+
+  void RaftNode::handle_request_vote(NodeId from, const RequestVoteRequest& m)
+  {
+    if (m.term > current_term_)
+    {
+      update_term(m.term);
+    }
+
+    const bool grant = m.term == current_term_ &&
+      (!voted_for_.has_value() || *voted_for_ == m.candidate) &&
+      log_up_to_date(m.last_log_idx, m.last_log_term);
+
+    if (grant)
+    {
+      voted_for_ = m.candidate;
+      reset_election_deadline();
+    }
+
+    RequestVoteResponse resp;
+    resp.term = current_term_;
+    resp.from = config_.id;
+    resp.granted = grant;
+    send(from, resp);
+  }
+
+  void RaftNode::handle_request_vote_response(
+    NodeId from, const RequestVoteResponse& m)
+  {
+    if (m.term > current_term_)
+    {
+      update_term(m.term);
+      return;
+    }
+    if (role_ != Role::Candidate || m.term != current_term_ || !m.granted)
+    {
+      return;
+    }
+    votes_granted_.insert(from);
+    const auto has = [this](NodeId n) { return votes_granted_.contains(n); };
+    if (quorum(has))
+    {
+      become_leader();
+    }
+  }
+
+  void RaftNode::handle_propose_vote(NodeId from, const ProposeRequestVote& m)
+  {
+    (void)from;
+    if (m.term < current_term_ || role_ == Role::Leader)
+    {
+      return;
+    }
+    // Fast-track an election without waiting for the timeout (§2.1,
+    // transition ④ in Fig. 1).
+    become_candidate();
+  }
+
+  // --- commit -----------------------------------------------------------------
+
+  void RaftNode::try_advance_commit()
+  {
+    if (role_ != Role::Leader)
+    {
+      return;
+    }
+    for (auto it = committable_indices_.rbegin();
+         it != committable_indices_.rend();
+         ++it)
+    {
+      const Index i = *it;
+      if (i <= commit_index_)
+      {
+        break;
+      }
+      const auto has = [this, i](NodeId n) {
+        return n == config_.id ? ledger_.last_index() >= i :
+                                 match_index(n) >= i;
+      };
+      if (!quorum(has))
+      {
+        continue;
+      }
+      if (!config_.bugs.commit_prev_term && ledger_.term_at(i) != current_term_)
+      {
+        // Raft §5.4.2: a leader may only advance commit via an entry it
+        // appended in its own term (bug 2 omitted this check).
+        continue;
+      }
+      advance_commit_to(i);
+      break;
+    }
+  }
+
+  void RaftNode::advance_commit_to(Index idx)
+  {
+    SCV_CHECK(idx > commit_index_);
+    SCV_CHECK(idx <= ledger_.last_index());
+    const Index old_commit = commit_index_;
+    const std::set<NodeId> before = configurations_.active_nodes(old_commit);
+    commit_index_ = idx;
+    committable_indices_.erase(
+      committable_indices_.begin(), committable_indices_.upper_bound(idx));
+
+    emit(base_event(trace::EventKind::AdvanceCommit));
+
+    bool self_retirement_committed = false;
+    for (Index v = old_commit + 1; v <= idx; ++v)
+    {
+      const Entry& entry = ledger_.at(v);
+      if (on_commit_)
+      {
+        on_commit_(v, entry);
+      }
+      if (entry.type == EntryType::Retirement)
+      {
+        retired_nodes_.insert(entry.retiring_node);
+        if (entry.retiring_node == config_.id)
+        {
+          self_retirement_committed = true;
+        }
+      }
+    }
+
+    // Membership transition: removal committed?
+    if (
+      membership_ == MembershipState::RetirementOrdered &&
+      !configurations_.current(commit_index_).contains(config_.id))
+    {
+      membership_ = MembershipState::RetirementCommitted;
+    }
+
+    if (role_ == Role::Leader)
+    {
+      const std::set<NodeId> after = configurations_.active_nodes(commit_index_);
+      Configuration removed;
+      for (const NodeId n : before)
+      {
+        if (!after.contains(n))
+        {
+          removed.nodes.push_back(n);
+        }
+      }
+      if (!removed.nodes.empty())
+      {
+        append_retirements_for(removed);
+      }
+    }
+
+    if (self_retirement_committed)
+    {
+      membership_ = MembershipState::RetirementCompleted;
+      if (role_ == Role::Leader)
+      {
+        send_propose_vote();
+      }
+      role_ = Role::Retired;
+      emit(base_event(trace::EventKind::Retire));
+    }
+  }
+
+  void RaftNode::append_retirements_for(const Configuration& removed)
+  {
+    bool appended = false;
+    for (const NodeId n : removed.nodes)
+    {
+      // Idempotence: skip when a retirement for n is already in the log.
+      bool exists = false;
+      for (Index i = 1; i <= ledger_.last_index(); ++i)
+      {
+        const Entry& e = ledger_.at(i);
+        if (e.type == EntryType::Retirement && e.retiring_node == n)
+        {
+          exists = true;
+          break;
+        }
+      }
+      if (exists)
+      {
+        continue;
+      }
+      Entry e;
+      e.term = current_term_;
+      e.type = EntryType::Retirement;
+      e.retiring_node = n;
+      append_entry(std::move(e));
+      appended = true;
+    }
+    if (appended)
+    {
+      // Retirement transactions need a signature on top to become
+      // committable.
+      emit_signature();
+    }
+  }
+
+  void RaftNode::send_propose_vote()
+  {
+    if (propose_vote_sent_)
+    {
+      return;
+    }
+    propose_vote_sent_ = true;
+    // Nominate the most caught-up member of the surviving configuration.
+    const Configuration& config = configurations_.current(commit_index_);
+    NodeId best = 0;
+    Index best_match = 0;
+    bool found = false;
+    for (const NodeId n : config.nodes)
+    {
+      if (n == config_.id)
+      {
+        continue;
+      }
+      if (!found || match_index(n) > best_match)
+      {
+        best = n;
+        best_match = match_index(n);
+        found = true;
+      }
+    }
+    if (!found)
+    {
+      return;
+    }
+    ProposeRequestVote m;
+    m.term = current_term_;
+    m.from = config_.id;
+    send(best, m);
+  }
+
+  // --- CheckQuorum ------------------------------------------------------------
+
+  void RaftNode::check_quorum()
+  {
+    last_check_quorum_tick_ = local_ticks_;
+    const auto heard = [this](NodeId n) {
+      if (n == config_.id)
+      {
+        return true;
+      }
+      const auto it = last_ack_tick_.find(n);
+      return it != last_ack_tick_.end() &&
+        local_ticks_ - it->second <= config_.check_quorum_interval;
+    };
+    if (!quorum(heard))
+    {
+      emit(base_event(trace::EventKind::CheckQuorumStepDown));
+      become_follower(current_term_, "check quorum failed");
+    }
+  }
+
+  // --- log maintenance ----------------------------------------------------------
+
+  void RaftNode::rollback(Index new_last, const char* reason)
+  {
+    (void)reason;
+    if (new_last < commit_index_)
+    {
+      // Only reachable with the truncate_on_early_ae bug injected; the
+      // fixed protocol never rolls back committed entries.
+      SCV_CHECK(config_.bugs.truncate_on_early_ae);
+      commit_index_ = new_last;
+    }
+    ledger_.truncate(new_last);
+    configurations_.rebuild(ledger_);
+    committable_indices_.erase(
+      committable_indices_.upper_bound(new_last), committable_indices_.end());
+
+    // Recompute membership from the surviving log.
+    if (membership_ == MembershipState::RetirementOrdered)
+    {
+      const auto active = configurations_.active(commit_index_);
+      bool excluded = false;
+      for (const auto& c : active)
+      {
+        if (!c.contains(config_.id))
+        {
+          excluded = true;
+        }
+      }
+      if (!excluded)
+      {
+        membership_ = MembershipState::Active;
+      }
+    }
+
+    trace::TraceEvent e = base_event(trace::EventKind::Rollback);
+    e.last_idx = new_last;
+    emit(e);
+    if (on_rollback_)
+    {
+      on_rollback_(new_last);
+    }
+  }
+
+  // --- client-visible status -------------------------------------------------
+
+  TxStatus RaftNode::status(TxId txid) const
+  {
+    if (txid.index == 0)
+    {
+      return TxStatus::Unknown;
+    }
+    if (txid.index <= commit_index_)
+    {
+      return ledger_.term_at(txid.index) == txid.term ? TxStatus::Committed :
+                                                        TxStatus::Invalid;
+    }
+    if (txid.index <= ledger_.last_index())
+    {
+      const Term local = ledger_.term_at(txid.index);
+      if (local == txid.term)
+      {
+        return TxStatus::Pending;
+      }
+      if (local > txid.term)
+      {
+        // A higher-term entry occupies the slot locally; the queried
+        // transaction can never commit at this index.
+        return TxStatus::Invalid;
+      }
+      return TxStatus::Pending;
+    }
+    return TxStatus::Unknown;
+  }
+}

@@ -1,0 +1,289 @@
+// CCF's consensus protocol (§2.1) as a deterministic state machine.
+//
+// A RaftNode is driven entirely by explicit inputs — tick(), receive(),
+// client_request(), emit_signature(), propose_reconfiguration() — and
+// communicates by pushing messages into an outbox that the host (the
+// scenario driver, or a real transport) drains. There is no internal
+// threading or wall-clock use, which is what makes deterministic scenario
+// testing and trace validation possible (§6.1).
+//
+// Differences from vanilla Raft implemented here, following the paper:
+//  * signature transactions: commit only advances at signature indices;
+//    candidates roll their log back to the last signature on stepping up
+//  * uni-directional messages: AE responses carry an explicit last_idx
+//  * optimistic acknowledgement: sent_index advances on send, rolls back
+//    on NACK
+//  * express catch-up: NACKs carry a safe agreement-point estimate that
+//    skips whole terms of divergence
+//  * CheckQuorum: a leader that has not heard from a quorum of each active
+//    configuration within the check interval abdicates (transition ③)
+//  * joint-quorum reconfiguration and staged retirement, with ProposeVote
+//    for retiring leaders (transition ④)
+//
+// The six historical bugs of Table 2 can be re-injected via BugFlags.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/bug_flags.h"
+#include "consensus/configuration.h"
+#include "consensus/ledger.h"
+#include "consensus/messages.h"
+#include "consensus/types.h"
+#include "trace/event.h"
+#include "util/rng.h"
+
+namespace scv::consensus
+{
+  struct NodeConfig
+  {
+    NodeId id = 0;
+    /// Election timeout sampled uniformly from [min, max] ticks.
+    uint64_t election_timeout_min = 10;
+    uint64_t election_timeout_max = 19;
+    /// Leader sends heartbeats every this many ticks.
+    uint64_t heartbeat_interval = 3;
+    /// Leader steps down if a quorum has not acked within this many ticks.
+    /// 0 disables CheckQuorum.
+    uint64_t check_quorum_interval = 20;
+    /// Max entries carried by one AppendEntries message.
+    size_t max_entries_per_ae = 10;
+    /// Seed for this node's private RNG (election timeout jitter).
+    uint64_t rng_seed = 1;
+    /// Ablation knob (not a bug): answer AE-NACKs with the vanilla-Raft
+    /// step-back-by-one agreement point instead of CCF's express
+    /// whole-term skip (§2.1). Catch-up then costs a round trip per
+    /// divergent *entry* instead of per divergent *term*. Note: traces of
+    /// naive-catch-up nodes do not validate against the (express) spec.
+    bool naive_catch_up = false;
+    BugFlags bugs;
+  };
+
+  struct Outbound
+  {
+    NodeId to = 0;
+    Message msg;
+  };
+
+  class RaftNode
+  {
+  public:
+    /// Called for every newly committed entry, in log order.
+    using CommitCallback = std::function<void(Index, const Entry&)>;
+    /// Called when the local log rolls back to `new_last`.
+    using RollbackCallback = std::function<void(Index new_last)>;
+
+    /// Constructs a bootstrapped node. Every node of a fresh service starts
+    /// with the same two committed entries: the initial configuration
+    /// transaction followed by a signature (§2.1), with `initial_leader`
+    /// as the term-1 leader.
+    RaftNode(
+      NodeConfig config,
+      std::vector<NodeId> initial_config,
+      NodeId initial_leader);
+
+    RaftNode(const RaftNode&) = delete;
+    RaftNode& operator=(const RaftNode&) = delete;
+
+    // --- host wiring -----------------------------------------------------
+
+    void set_trace_sink(trace::TraceSink sink)
+    {
+      trace_sink_ = std::move(sink);
+    }
+
+    void set_commit_callback(CommitCallback cb)
+    {
+      on_commit_ = std::move(cb);
+    }
+
+    void set_rollback_callback(RollbackCallback cb)
+    {
+      on_rollback_ = std::move(cb);
+    }
+
+    /// Global clock used to timestamp trace events (§6.1). Defaults to the
+    /// node's local tick count when unset.
+    void set_clock(std::function<uint64_t()> clock)
+    {
+      clock_ = std::move(clock);
+    }
+
+    // --- inputs ----------------------------------------------------------
+
+    /// Advances local time by one tick: election timeouts, heartbeats and
+    /// CheckQuorum all derive from tick counts.
+    void tick();
+
+    /// Delivers one message from the (unreliable, unordered) network.
+    void receive(NodeId from, const Message& msg);
+
+    /// Leader executes a client transaction immediately (§2: executed and
+    /// answered before replication). Returns its TxId, or nullopt if this
+    /// node is not a functioning leader.
+    std::optional<TxId> client_request(std::string data);
+
+    /// Leader appends a signature transaction over the log so far.
+    std::optional<TxId> emit_signature();
+
+    /// Leader proposes a configuration change to the given (sorted) node
+    /// set. Returns the TxId of the configuration transaction.
+    std::optional<TxId> propose_reconfiguration(std::vector<NodeId> new_nodes);
+
+    /// Scenario-driver hook: force an immediate election timeout.
+    void force_timeout();
+
+    // --- outputs ---------------------------------------------------------
+
+    /// Drains messages queued for sending since the last call.
+    std::vector<Outbound> take_outbox();
+
+    // --- observers -------------------------------------------------------
+
+    [[nodiscard]] NodeId id() const
+    {
+      return config_.id;
+    }
+    [[nodiscard]] Role role() const
+    {
+      return role_;
+    }
+    [[nodiscard]] MembershipState membership() const
+    {
+      return membership_;
+    }
+    [[nodiscard]] Term current_term() const
+    {
+      return current_term_;
+    }
+    [[nodiscard]] Index commit_index() const
+    {
+      return commit_index_;
+    }
+    [[nodiscard]] Index last_index() const
+    {
+      return ledger_.last_index();
+    }
+    [[nodiscard]] const Ledger& ledger() const
+    {
+      return ledger_;
+    }
+    [[nodiscard]] const Configurations& configurations() const
+    {
+      return configurations_;
+    }
+    [[nodiscard]] std::optional<NodeId> leader_hint() const
+    {
+      return leader_hint_;
+    }
+    [[nodiscard]] std::optional<NodeId> voted_for() const
+    {
+      return voted_for_;
+    }
+    [[nodiscard]] const std::set<Index>& committable_indices() const
+    {
+      return committable_indices_;
+    }
+    [[nodiscard]] Index sent_index(NodeId peer) const;
+    [[nodiscard]] Index match_index(NodeId peer) const;
+    [[nodiscard]] uint64_t local_ticks() const
+    {
+      return local_ticks_;
+    }
+
+    /// Client-observable status of a transaction id (§2).
+    [[nodiscard]] TxStatus status(TxId txid) const;
+
+    /// True when this node answers messages; a node that has completed
+    /// retirement (or, with the premature_retirement bug, merely ordered
+    /// it) is silent.
+    [[nodiscard]] bool participating() const;
+
+  private:
+    // Role transitions.
+    void become_follower(Term term, const char* reason);
+    void become_candidate();
+    void become_leader();
+    void update_term(Term term);
+
+    // Message handlers.
+    void handle_append_entries(NodeId from, const AppendEntriesRequest& m);
+    void handle_append_entries_response(
+      NodeId from, const AppendEntriesResponse& m);
+    void handle_request_vote(NodeId from, const RequestVoteRequest& m);
+    void handle_request_vote_response(
+      NodeId from, const RequestVoteResponse& m);
+    void handle_propose_vote(NodeId from, const ProposeRequestVote& m);
+
+    // Leader machinery.
+    void send_append_entries(NodeId to);
+    void broadcast_append_entries();
+    void try_advance_commit();
+    void check_quorum();
+    Index append_entry(Entry entry);
+    void append_retirements_for(const Configuration& committed_config);
+    void send_propose_vote();
+
+    // Log maintenance.
+    void rollback(Index new_last, const char* reason);
+    void advance_commit_to(Index idx);
+    void note_membership_on_append(Index idx, const Entry& entry);
+
+    // Helpers.
+    [[nodiscard]] bool quorum(const std::function<bool(NodeId)>& has) const;
+    [[nodiscard]] std::set<NodeId> replication_targets() const;
+    [[nodiscard]] bool log_up_to_date(Index last_idx, Term last_term) const;
+    void reset_election_deadline();
+    void send(NodeId to, Message msg);
+    void emit(trace::TraceEvent event);
+    trace::TraceEvent base_event(trace::EventKind kind) const;
+    [[nodiscard]] uint64_t now() const;
+
+    NodeConfig config_;
+    Rng rng_;
+
+    Role role_ = Role::Follower;
+    MembershipState membership_ = MembershipState::Active;
+    Term current_term_ = 0;
+    std::optional<NodeId> voted_for_;
+    std::optional<NodeId> leader_hint_;
+
+    Ledger ledger_;
+    Index commit_index_ = 0;
+    Configurations configurations_;
+    /// Signature indices above the commit index (commit candidates).
+    std::set<Index> committable_indices_;
+    /// Nodes whose Retirement entry has committed.
+    std::set<NodeId> retired_nodes_;
+    /// Retired nodes to which this leader has sent an AE carrying the
+    /// commit of their retirement; only then are they dropped from the
+    /// replication targets, so they can observe their own retirement and
+    /// switch off (§2.1).
+    std::set<NodeId> retirement_notified_;
+
+    // Leader volatile state.
+    std::map<NodeId, Index> sent_index_;
+    std::map<NodeId, Index> match_index_;
+    std::map<NodeId, uint64_t> last_ack_tick_;
+    std::set<NodeId> votes_granted_;
+    /// Set once the retiring leader has nominated a successor.
+    bool propose_vote_sent_ = false;
+
+    // Timers.
+    uint64_t local_ticks_ = 0;
+    uint64_t election_deadline_ = 0;
+    uint64_t last_heartbeat_tick_ = 0;
+    uint64_t last_check_quorum_tick_ = 0;
+
+    std::vector<Outbound> outbox_;
+    trace::TraceSink trace_sink_;
+    CommitCallback on_commit_;
+    RollbackCallback on_rollback_;
+    std::function<uint64_t()> clock_;
+  };
+}

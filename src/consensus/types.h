@@ -1,0 +1,109 @@
+// Fundamental consensus types shared across the library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace scv::consensus
+{
+  using NodeId = uint64_t;
+  using Term = uint64_t;
+  using Index = uint64_t; // 1-based log index; 0 means "none"
+
+  /// Unique transaction identifier: lexicographically ordered (term, index)
+  /// pair (§2). Clients use these ids to track transaction status.
+  struct TxId
+  {
+    Term term = 0;
+    Index index = 0;
+
+    auto operator<=>(const TxId&) const = default;
+
+    [[nodiscard]] std::string to_string() const
+    {
+      return std::to_string(term) + "." + std::to_string(index);
+    }
+  };
+
+  /// Node roles; Fig. 1 of the paper. Retired is CCF's addition.
+  enum class Role : uint8_t
+  {
+    Follower,
+    Candidate,
+    Leader,
+    Retired,
+  };
+
+  const char* to_string(Role role);
+
+  /// Where a node stands in its own removal (§2.1 "From bootstrapping to
+  /// retirement").
+  enum class MembershipState : uint8_t
+  {
+    Active,
+    /// A reconfiguration removing this node is in its log (ordered).
+    RetirementOrdered,
+    /// That reconfiguration has committed; node awaits the retirement
+    /// transaction that tells future leaders it can switch off.
+    RetirementCommitted,
+    /// The retirement transaction committed; node may shut down.
+    RetirementCompleted,
+  };
+
+  const char* to_string(MembershipState state);
+
+  /// Client-observable transaction states (§2).
+  enum class TxStatus : uint8_t
+  {
+    Unknown, // the queried node has no record of this transaction
+    Pending,
+    Committed,
+    Invalid,
+  };
+
+  const char* to_string(TxStatus status);
+
+  enum class EntryType : uint8_t
+  {
+    Data,
+    /// Merkle-root signature over the log so far; commit only advances at
+    /// signature boundaries (§2.1).
+    Signature,
+    /// Update to ccf.gov.nodes.info: the new node set.
+    Reconfiguration,
+    /// Marks that the reconfiguration removing `retiring_node` committed;
+    /// once this commits the node may switch off.
+    Retirement,
+  };
+
+  const char* to_string(EntryType type);
+
+  /// One replicated log entry.
+  struct Entry
+  {
+    Term term = 0;
+    EntryType type = EntryType::Data;
+    std::string data; // application payload for Data entries
+    std::vector<NodeId> config; // sorted node set for Reconfiguration
+    NodeId retiring_node = 0; // for Retirement entries
+    crypto::Digest root{}; // Merkle root signed, for Signature entries
+    std::vector<uint8_t> signature; // for Signature entries
+    NodeId signer = 0; // for Signature entries
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  /// Digest of an entry, used as its Merkle leaf.
+  crypto::Digest entry_digest(const Entry& entry);
+
+  /// Majority threshold for a configuration of the given size.
+  constexpr size_t quorum_size(size_t config_size)
+  {
+    return config_size / 2 + 1;
+  }
+}

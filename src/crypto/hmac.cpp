@@ -1,0 +1,42 @@
+#include "crypto/hmac.h"
+
+namespace scv::crypto
+{
+  Digest hmac_sha256(
+    const std::vector<uint8_t>& key, const uint8_t* data, size_t size)
+  {
+    constexpr size_t block_size = 64;
+
+    std::vector<uint8_t> k = key;
+    if (k.size() > block_size)
+    {
+      const Digest kd = sha256(k);
+      k.assign(kd.begin(), kd.end());
+    }
+    k.resize(block_size, 0);
+
+    std::vector<uint8_t> ipad(block_size);
+    std::vector<uint8_t> opad(block_size);
+    for (size_t i = 0; i < block_size; ++i)
+    {
+      ipad[i] = k[i] ^ 0x36;
+      opad[i] = k[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(data, size);
+    const Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finalize();
+  }
+
+  Digest hmac_sha256(const std::vector<uint8_t>& key, std::string_view msg)
+  {
+    return hmac_sha256(
+      key, reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
+  }
+}

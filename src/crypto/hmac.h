@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104). Backs the mock ledger signer.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace scv::crypto
+{
+  Digest hmac_sha256(
+    const std::vector<uint8_t>& key, const uint8_t* data, size_t size);
+
+  Digest hmac_sha256(const std::vector<uint8_t>& key, std::string_view msg);
+}

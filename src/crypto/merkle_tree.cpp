@@ -1,0 +1,105 @@
+#include "crypto/merkle_tree.h"
+
+#include "util/check.h"
+
+namespace scv::crypto
+{
+  namespace
+  {
+    /// Largest power of two strictly less than n (n >= 2), per RFC 6962's
+    /// split rule, which keeps the tree shape canonical for any size.
+    size_t split_point(size_t n)
+    {
+      size_t k = 1;
+      while (k * 2 < n)
+      {
+        k *= 2;
+      }
+      return k;
+    }
+  }
+
+  Digest MerkleTree::combine(const Digest& left, const Digest& right)
+  {
+    Sha256 h;
+    const uint8_t tag = 0x01; // interior-node domain separation
+    h.update(&tag, 1);
+    h.update(left.data(), left.size());
+    h.update(right.data(), right.size());
+    return h.finalize();
+  }
+
+  size_t MerkleTree::append(const Digest& leaf)
+  {
+    leaves_.push_back(leaf);
+    return leaves_.size() - 1;
+  }
+
+  Digest MerkleTree::subtree_root(size_t begin, size_t end) const
+  {
+    const size_t n = end - begin;
+    if (n == 1)
+    {
+      return leaves_[begin];
+    }
+    const size_t k = split_point(n);
+    return combine(
+      subtree_root(begin, begin + k), subtree_root(begin + k, end));
+  }
+
+  Digest MerkleTree::root() const
+  {
+    if (leaves_.empty())
+    {
+      return sha256("");
+    }
+    return subtree_root(0, leaves_.size());
+  }
+
+  void MerkleTree::collect_path(
+    size_t begin, size_t end, size_t index, Path& out) const
+  {
+    const size_t n = end - begin;
+    if (n == 1)
+    {
+      return;
+    }
+    const size_t k = split_point(n);
+    if (index < begin + k)
+    {
+      collect_path(begin, begin + k, index, out);
+      out.push_back({subtree_root(begin + k, end), false});
+    }
+    else
+    {
+      collect_path(begin + k, end, index, out);
+      out.push_back({subtree_root(begin, begin + k), true});
+    }
+  }
+
+  Path MerkleTree::path(size_t index) const
+  {
+    SCV_CHECK(index < leaves_.size());
+    Path out;
+    collect_path(0, leaves_.size(), index, out);
+    return out;
+  }
+
+  void MerkleTree::truncate(size_t new_size)
+  {
+    SCV_CHECK(new_size <= leaves_.size());
+    leaves_.resize(new_size);
+  }
+
+  bool MerkleTree::verify_path(
+    const Digest& leaf, const Path& path, const Digest& expected_root)
+  {
+    Digest running = leaf;
+    for (const auto& step : path)
+    {
+      running = step.sibling_on_left ? combine(step.sibling, running) :
+                                       combine(running, step.sibling);
+    }
+    return running == expected_root;
+  }
+}

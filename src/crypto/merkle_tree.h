@@ -1,0 +1,66 @@
+// Append-only Merkle tree over ledger entries (§2.1).
+//
+// CCF's signature transactions embed the root of a Merkle tree built over
+// the whole log so far. This implementation supports O(log n) incremental
+// appends, root extraction at any point, audit (inclusion) paths, and
+// truncation back to a shorter length (needed when a follower rolls back a
+// conflicting suffix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace scv::crypto
+{
+  /// One step of an inclusion proof: the sibling digest and whether it sits
+  /// to the left of the running hash.
+  struct PathStep
+  {
+    Digest sibling;
+    bool sibling_on_left;
+
+    bool operator==(const PathStep&) const = default;
+  };
+
+  using Path = std::vector<PathStep>;
+
+  class MerkleTree
+  {
+  public:
+    /// Appends a leaf digest; returns the (0-based) leaf index.
+    size_t append(const Digest& leaf);
+
+    /// Root over all leaves appended so far. Root of the empty tree is the
+    /// hash of the empty string, matching an empty ledger.
+    [[nodiscard]] Digest root() const;
+
+    [[nodiscard]] size_t size() const
+    {
+      return leaves_.size();
+    }
+
+    /// Inclusion proof for the leaf at `index` against the current root.
+    [[nodiscard]] Path path(size_t index) const;
+
+    /// Drops all leaves at and after `new_size`.
+    void truncate(size_t new_size);
+
+    /// Verifies an inclusion proof.
+    static bool verify_path(
+      const Digest& leaf, const Path& path, const Digest& expected_root);
+
+    /// Hash of an interior node from its two children.
+    static Digest combine(const Digest& left, const Digest& right);
+
+  private:
+    /// Recomputes the root over leaves_[begin, end).
+    [[nodiscard]] Digest subtree_root(size_t begin, size_t end) const;
+
+    void collect_path(
+      size_t begin, size_t end, size_t index, Path& out) const;
+
+    std::vector<Digest> leaves_;
+  };
+}

@@ -1,0 +1,49 @@
+// From-scratch SHA-256 (FIPS 180-4).
+//
+// CCF's ledger integrity rests on a Merkle tree of SHA-256 digests whose
+// root is embedded in signature transactions (§2.1). This is a plain
+// software implementation; cryptographic hardware acceleration is
+// irrelevant to protocol behavior.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scv::crypto
+{
+  using Digest = std::array<uint8_t, 32>;
+
+  /// Incremental SHA-256 hasher.
+  class Sha256
+  {
+  public:
+    Sha256();
+
+    void update(const uint8_t* data, size_t size);
+    void update(std::string_view s);
+    void update(const std::vector<uint8_t>& data);
+
+    /// Finalizes and returns the digest. The hasher must not be reused
+    /// afterwards without reset().
+    Digest finalize();
+
+    void reset();
+
+  private:
+    void process_block(const uint8_t* block);
+
+    std::array<uint32_t, 8> state_{};
+    std::array<uint8_t, 64> buffer_{};
+    size_t buffer_len_ = 0;
+    uint64_t total_len_ = 0;
+  };
+
+  Digest sha256(const uint8_t* data, size_t size);
+  Digest sha256(std::string_view s);
+  Digest sha256(const std::vector<uint8_t>& data);
+
+  std::string digest_to_hex(const Digest& d);
+}

@@ -1,0 +1,32 @@
+#include "crypto/signer.h"
+
+namespace scv::crypto
+{
+  namespace
+  {
+    std::vector<uint8_t> derive_key(uint64_t node_id)
+    {
+      std::string seed = "scv-node-key-" + std::to_string(node_id);
+      const Digest d = sha256(seed);
+      return {d.begin(), d.end()};
+    }
+  }
+
+  Signer::Signer(uint64_t node_id) :
+    node_id_(node_id),
+    key_(derive_key(node_id))
+  {}
+
+  Signature Signer::sign(const Digest& digest) const
+  {
+    const Digest mac = hmac_sha256(key_, digest.data(), digest.size());
+    return {mac.begin(), mac.end()};
+  }
+
+  bool verify_signature(
+    uint64_t node_id, const Digest& digest, const Signature& sig)
+  {
+    const Signer expected(node_id);
+    return expected.sign(digest) == sig;
+  }
+}

@@ -1,0 +1,41 @@
+// Mock node signer for signature transactions.
+//
+// The paper's protocol only depends on the *placement* of signatures in the
+// log, not on the strength of the signature scheme, so signing here is
+// HMAC-SHA-256 under a per-node key derived from the node id. A Verifier
+// holding the same derivation can check any node's signature, playing the
+// role of a public-key directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace scv::crypto
+{
+  using Signature = std::vector<uint8_t>;
+
+  class Signer
+  {
+  public:
+    explicit Signer(uint64_t node_id);
+
+    [[nodiscard]] Signature sign(const Digest& digest) const;
+
+    [[nodiscard]] uint64_t node_id() const
+    {
+      return node_id_;
+    }
+
+  private:
+    uint64_t node_id_;
+    std::vector<uint8_t> key_;
+  };
+
+  /// Checks that `sig` is node `node_id`'s signature over `digest`.
+  bool verify_signature(
+    uint64_t node_id, const Digest& digest, const Signature& sig);
+}

@@ -1,0 +1,197 @@
+#include "driver/client.h"
+
+#include <algorithm>
+
+namespace scv::driver
+{
+  using consensus::EntryType;
+  using consensus::Index;
+  using consensus::Role;
+  using consensus::TxId;
+  using consensus::TxStatus;
+
+  const char* to_string(ClientEventKind kind)
+  {
+    switch (kind)
+    {
+      case ClientEventKind::RwReq:
+        return "rwReq";
+      case ClientEventKind::RwRes:
+        return "rwRes";
+      case ClientEventKind::RoReq:
+        return "roReq";
+      case ClientEventKind::RoRes:
+        return "roRes";
+      case ClientEventKind::Status:
+        return "status";
+    }
+    return "unknown";
+  }
+
+  std::vector<TxId> Client::app_txids_upto(
+    const consensus::RaftNode& node, Index upto)
+  {
+    std::vector<TxId> out;
+    for (Index i = 1; i <= upto && i <= node.ledger().last_index(); ++i)
+    {
+      const auto& entry = node.ledger().at(i);
+      if (entry.type == EntryType::Data)
+      {
+        out.push_back(TxId{entry.term, static_cast<Index>(out.size() + 1)});
+      }
+    }
+    return out;
+  }
+
+  std::vector<TxId> Client::committed_app_txids(const consensus::RaftNode& node)
+  {
+    return app_txids_upto(node, node.commit_index());
+  }
+
+  Client::Pending* Client::find(uint64_t client_seq)
+  {
+    for (auto& p : pending_)
+    {
+      if (p.client_seq == client_seq)
+      {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  std::optional<uint64_t> Client::submit_rw(std::string payload)
+  {
+    const auto leader = cluster_.find_leader();
+    if (!leader)
+    {
+      return std::nullopt;
+    }
+    auto& node = cluster_.node(*leader);
+
+    const uint64_t seq = next_seq_++;
+    ClientEvent req;
+    req.kind = ClientEventKind::RwReq;
+    req.client_seq = seq;
+    history_.push_back(req);
+
+    const auto raw = node.client_request(std::move(payload));
+    if (!raw)
+    {
+      return seq; // requested but never executed (leader refused)
+    }
+
+    // The response carries the application-level tx id: (term, position
+    // among application transactions) — and everything observed before it.
+    const auto observed = app_txids_upto(node, raw->index - 1);
+    const TxId app_id{raw->term, static_cast<Index>(observed.size() + 1)};
+
+    ClientEvent res;
+    res.kind = ClientEventKind::RwRes;
+    res.client_seq = seq;
+    res.txid = app_id;
+    res.observed = observed;
+    history_.push_back(res);
+
+    pending_.push_back({seq, false, app_id, observed, false});
+    return seq;
+  }
+
+  std::optional<uint64_t> Client::submit_ro(std::optional<NodeId> server)
+  {
+    const auto target = server ? server : cluster_.find_leader();
+    if (!target || !cluster_.has_node(*target))
+    {
+      return std::nullopt;
+    }
+    auto& node = cluster_.node(*target);
+
+    const uint64_t seq = next_seq_++;
+    ClientEvent req;
+    req.kind = ClientEventKind::RoReq;
+    req.client_seq = seq;
+    history_.push_back(req);
+
+    // Only a node that believes itself leader answers read-only
+    // transactions (§7: including a stale leader that was not yet
+    // deposed).
+    if (node.role() != Role::Leader)
+    {
+      return seq;
+    }
+    const auto observed = app_txids_upto(node, node.ledger().last_index());
+    const TxId at{node.current_term(), static_cast<Index>(observed.size())};
+
+    ClientEvent res;
+    res.kind = ClientEventKind::RoRes;
+    res.client_seq = seq;
+    res.txid = at;
+    res.observed = observed;
+    history_.push_back(res);
+
+    pending_.push_back({seq, true, at, observed, false});
+    return seq;
+  }
+
+  TxStatus Client::poll(uint64_t client_seq, std::optional<NodeId> server)
+  {
+    Pending* p = find(client_seq);
+    if (p == nullptr)
+    {
+      return TxStatus::Unknown;
+    }
+    const auto target = server ? server : cluster_.find_leader();
+    if (!target || !cluster_.has_node(*target))
+    {
+      return TxStatus::Unknown;
+    }
+    const auto& node = cluster_.node(*target);
+
+    // A transaction (read-write at position i, read-only observing i
+    // transactions) is COMMITTED when the node's committed application
+    // prefix covers position i and agrees with what was observed, and
+    // INVALID when the committed prefix covers i but diverges.
+    const auto committed = committed_app_txids(node);
+    const size_t at = p->txid.index;
+    TxStatus status = TxStatus::Pending;
+    if (committed.size() >= at)
+    {
+      bool matches = true;
+      for (size_t k = 0; k < p->observed.size() && k < at; ++k)
+      {
+        matches = matches && committed[k] == p->observed[k];
+      }
+      if (!p->read_only && matches)
+      {
+        matches = at >= 1 && committed[at - 1] == p->txid;
+      }
+      status = matches ? TxStatus::Committed : TxStatus::Invalid;
+    }
+
+    if (
+      (status == TxStatus::Committed || status == TxStatus::Invalid) &&
+      !p->terminal)
+    {
+      p->terminal = true;
+      ClientEvent ev;
+      ev.kind = ClientEventKind::Status;
+      ev.client_seq = client_seq;
+      ev.txid = p->txid;
+      ev.status = status;
+      history_.push_back(ev);
+    }
+    return status;
+  }
+
+  std::optional<TxId> Client::txid_of(uint64_t client_seq) const
+  {
+    for (const auto& p : pending_)
+    {
+      if (p.client_seq == client_seq)
+      {
+        return p.txid;
+      }
+    }
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,346 @@
+#include "driver/cluster.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace scv::driver
+{
+  Cluster::Cluster(ClusterOptions options) :
+    options_(std::move(options)),
+    rng_(options_.seed),
+    network_(
+      options_.delivery_order, options_.min_latency, options_.max_latency)
+  {
+    for (const NodeId id : options_.initial_config)
+    {
+      consensus::NodeConfig cfg = options_.node_template;
+      cfg.id = id;
+      cfg.rng_seed = options_.seed ^ (id * 0x2545f4914f6cdd1dULL);
+      NodeSlot slot;
+      slot.node = std::make_unique<consensus::RaftNode>(
+        cfg, options_.initial_config, options_.initial_leader);
+      slot.store = std::make_unique<kv::Store>();
+      wire_node(id, *slot.node, *slot.store);
+      nodes_.emplace(id, std::move(slot));
+    }
+  }
+
+  void Cluster::wire_node(NodeId id, consensus::RaftNode& n, kv::Store& store)
+  {
+    n.set_clock([this] { return clock_; });
+    n.set_trace_sink([this](const trace::TraceEvent& e) {
+      trace_.push_back(e);
+      if (e.kind == trace::EventKind::BecomeLeader)
+      {
+        leaders_by_term_[e.term].insert(e.node);
+      }
+    });
+    n.set_commit_callback(
+      [&store](Index idx, const consensus::Entry& entry) {
+        // The driver applies committed entries to the node's KV store; the
+        // governance map mirrors configuration and retirement transactions.
+        kv::WriteSet ws;
+        switch (entry.type)
+        {
+          case consensus::EntryType::Data:
+            ws.writes.push_back({"app." + std::to_string(idx), entry.data});
+            break;
+          case consensus::EntryType::Reconfiguration:
+          {
+            std::string nodes;
+            for (const NodeId n2 : entry.config)
+            {
+              nodes += (nodes.empty() ? "" : ",") + std::to_string(n2);
+            }
+            ws.writes.push_back({"ccf.gov.nodes.info", nodes});
+            break;
+          }
+          case consensus::EntryType::Retirement:
+            ws.writes.push_back(
+              {"ccf.gov.nodes.retired." + std::to_string(entry.retiring_node),
+               "true"});
+            break;
+          case consensus::EntryType::Signature:
+            ws.writes.push_back(
+              {"ccf.internal.signatures." + std::to_string(idx),
+               crypto::digest_to_hex(entry.root)});
+            break;
+        }
+        const kv::Version v = store.apply(ws);
+        store.commit(v);
+      });
+    (void)id;
+  }
+
+  void Cluster::add_node(NodeId id)
+  {
+    SCV_CHECK_MSG(!nodes_.contains(id), "node already exists");
+    consensus::NodeConfig cfg = options_.node_template;
+    cfg.id = id;
+    cfg.rng_seed = options_.seed ^ (id * 0x2545f4914f6cdd1dULL);
+    NodeSlot slot;
+    // A joining node starts from the service's initial state (in CCF it
+    // would fetch a snapshot); it catches up through AppendEntries.
+    slot.node = std::make_unique<consensus::RaftNode>(
+      cfg, options_.initial_config, options_.initial_leader);
+    slot.store = std::make_unique<kv::Store>();
+    wire_node(id, *slot.node, *slot.store);
+    nodes_.emplace(id, std::move(slot));
+  }
+
+  void Cluster::crash(NodeId id)
+  {
+    SCV_CHECK(nodes_.contains(id));
+    crashed_.insert(id);
+  }
+
+  consensus::RaftNode& Cluster::node(NodeId id)
+  {
+    const auto it = nodes_.find(id);
+    SCV_CHECK_MSG(it != nodes_.end(), "unknown node " << id);
+    return *it->second.node;
+  }
+
+  const consensus::RaftNode& Cluster::node(NodeId id) const
+  {
+    const auto it = nodes_.find(id);
+    SCV_CHECK_MSG(it != nodes_.end(), "unknown node " << id);
+    return *it->second.node;
+  }
+
+  kv::Store& Cluster::store(NodeId id)
+  {
+    const auto it = nodes_.find(id);
+    SCV_CHECK(it != nodes_.end());
+    return *it->second.store;
+  }
+
+  std::vector<NodeId> Cluster::node_ids() const
+  {
+    std::vector<NodeId> out;
+    out.reserve(nodes_.size());
+    for (const auto& [id, slot] : nodes_)
+    {
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  void Cluster::flush_outbox(NodeId id)
+  {
+    auto& n = node(id);
+    for (auto& out : n.take_outbox())
+    {
+      if (options_.wire_serialization)
+      {
+        // Round-trip through the canonical byte encoding, as a real
+        // transport would.
+        const auto bytes = consensus::serialize(out.msg);
+        wire_bytes_ += bytes.size();
+        auto decoded = consensus::deserialize(bytes);
+        SCV_CHECK_MSG(
+          decoded.has_value(),
+          "wire codec failed to round-trip a "
+            << consensus::message_type_name(out.msg));
+        network_.send(id, out.to, std::move(*decoded), clock_, rng_);
+      }
+      else
+      {
+        network_.send(id, out.to, std::move(out.msg), clock_, rng_);
+      }
+    }
+  }
+
+  void Cluster::tick(NodeId id)
+  {
+    if (crashed_.contains(id))
+    {
+      return;
+    }
+    node(id).tick();
+    flush_outbox(id);
+  }
+
+  void Cluster::tick_all()
+  {
+    clock_ += 1;
+    for (const auto& [id, slot] : nodes_)
+    {
+      tick(id);
+    }
+  }
+
+  void Cluster::deliver_envelope(
+    const net::SimNetwork<consensus::Message>::Envelope& env)
+  {
+    if (crashed_.contains(env.to) || !nodes_.contains(env.to))
+    {
+      return;
+    }
+    node(env.to).receive(env.from, env.payload);
+    flush_outbox(env.to);
+  }
+
+  bool Cluster::deliver_one()
+  {
+    auto env = network_.deliver_one(clock_, rng_);
+    if (!env)
+    {
+      return false;
+    }
+    deliver_envelope(*env);
+    return true;
+  }
+
+  bool Cluster::deliver_on_link(NodeId from, NodeId to)
+  {
+    auto env = network_.deliver_next_on_link(from, to);
+    if (!env)
+    {
+      return false;
+    }
+    deliver_envelope(*env);
+    return true;
+  }
+
+  size_t Cluster::drain(size_t bound)
+  {
+    size_t delivered = 0;
+    while (delivered < bound && deliver_one())
+    {
+      ++delivered;
+    }
+    return delivered;
+  }
+
+  void Cluster::run(uint64_t ticks)
+  {
+    for (uint64_t i = 0; i < ticks; ++i)
+    {
+      tick_all();
+      // Deliver a random handful of messages; leaving some in flight
+      // exercises reordering and delay.
+      const uint64_t deliveries = rng_.below(4);
+      for (uint64_t d = 0; d < deliveries; ++d)
+      {
+        if (!deliver_one())
+        {
+          break;
+        }
+      }
+    }
+  }
+
+  void Cluster::partition(
+    const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b)
+  {
+    network_.links().partition(group_a, group_b);
+  }
+
+  void Cluster::isolate(NodeId id)
+  {
+    network_.links().isolate(id, node_ids());
+  }
+
+  void Cluster::heal()
+  {
+    network_.links().heal();
+  }
+
+  std::optional<NodeId> Cluster::find_leader() const
+  {
+    std::optional<NodeId> best;
+    Term best_term = 0;
+    for (const auto& [id, slot] : nodes_)
+    {
+      if (crashed_.contains(id))
+      {
+        continue;
+      }
+      if (
+        slot.node->role() == consensus::Role::Leader &&
+        slot.node->current_term() > best_term)
+      {
+        best = id;
+        best_term = slot.node->current_term();
+      }
+    }
+    return best;
+  }
+
+  std::optional<TxId> Cluster::submit(std::string data)
+  {
+    const auto leader = find_leader();
+    if (!leader)
+    {
+      return std::nullopt;
+    }
+    const auto txid = node(*leader).client_request(std::move(data));
+    flush_outbox(*leader);
+    return txid;
+  }
+
+  std::optional<TxId> Cluster::sign()
+  {
+    const auto leader = find_leader();
+    if (!leader)
+    {
+      return std::nullopt;
+    }
+    const auto txid = node(*leader).emit_signature();
+    flush_outbox(*leader);
+    return txid;
+  }
+
+  std::optional<TxId> Cluster::reconfigure(std::vector<NodeId> new_nodes)
+  {
+    const auto leader = find_leader();
+    if (!leader)
+    {
+      return std::nullopt;
+    }
+    const auto txid =
+      node(*leader).propose_reconfiguration(std::move(new_nodes));
+    flush_outbox(*leader);
+    return txid;
+  }
+
+  consensus::TxStatus Cluster::submit_and_commit(
+    std::string data, uint64_t max_ticks)
+  {
+    const auto txid = submit(std::move(data));
+    if (!txid)
+    {
+      return consensus::TxStatus::Unknown;
+    }
+    sign();
+    for (uint64_t i = 0; i < max_ticks; ++i)
+    {
+      tick_all();
+      drain();
+      const auto leader = find_leader();
+      if (leader)
+      {
+        const auto s = node(*leader).status(*txid);
+        if (
+          s == consensus::TxStatus::Committed ||
+          s == consensus::TxStatus::Invalid)
+        {
+          return s;
+        }
+      }
+    }
+    return consensus::TxStatus::Pending;
+  }
+
+  Index Cluster::max_commit() const
+  {
+    Index out = 0;
+    for (const auto& [id, slot] : nodes_)
+    {
+      out = std::max(out, slot.node->commit_index());
+    }
+    return out;
+  }
+}

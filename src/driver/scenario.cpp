@@ -1,0 +1,624 @@
+#include "driver/scenario.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace scv::driver
+{
+  namespace
+  {
+    struct Line
+    {
+      size_t number = 0;
+      std::vector<std::string> tokens;
+    };
+
+    std::vector<Line> tokenize(const std::string& script)
+    {
+      std::vector<Line> out;
+      size_t number = 0;
+      for (const std::string& raw : split(script, '\n'))
+      {
+        ++number;
+        std::string text = raw;
+        const size_t hash = text.find('#');
+        if (hash != std::string::npos)
+        {
+          text = text.substr(0, hash);
+        }
+        text = trim(text);
+        if (text.empty())
+        {
+          continue;
+        }
+        Line line;
+        line.number = number;
+        for (const std::string& tok : split(text, ' '))
+        {
+          if (!trim(tok).empty())
+          {
+            line.tokens.push_back(trim(tok));
+          }
+        }
+        out.push_back(std::move(line));
+      }
+      return out;
+    }
+
+    std::optional<uint64_t> parse_u64(const std::string& s)
+    {
+      if (s.empty())
+      {
+        return std::nullopt;
+      }
+      uint64_t v = 0;
+      for (const char c : s)
+      {
+        if (c < '0' || c > '9')
+        {
+          return std::nullopt;
+        }
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+      }
+      return v;
+    }
+
+    std::optional<double> parse_prob(const std::string& s)
+    {
+      try
+      {
+        const double v = std::stod(s);
+        if (v < 0.0 || v > 1.0)
+        {
+          return std::nullopt;
+        }
+        return v;
+      }
+      catch (...)
+      {
+        return std::nullopt;
+      }
+    }
+
+    std::optional<std::vector<NodeId>> parse_id_list(const std::string& s)
+    {
+      std::vector<NodeId> out;
+      for (const std::string& part : split(s, ','))
+      {
+        const auto id = parse_u64(trim(part));
+        if (!id)
+        {
+          return std::nullopt;
+        }
+        out.push_back(*id);
+      }
+      return out;
+    }
+
+    std::optional<consensus::TxId> parse_txid(const std::string& s)
+    {
+      const auto parts = split(s, '.');
+      if (parts.size() != 2)
+      {
+        return std::nullopt;
+      }
+      const auto term = parse_u64(parts[0]);
+      const auto index = parse_u64(parts[1]);
+      if (!term || !index)
+      {
+        return std::nullopt;
+      }
+      return consensus::TxId{*term, *index};
+    }
+
+    std::optional<consensus::Role> parse_role(const std::string& s)
+    {
+      if (s == "leader")
+      {
+        return consensus::Role::Leader;
+      }
+      if (s == "follower")
+      {
+        return consensus::Role::Follower;
+      }
+      if (s == "candidate")
+      {
+        return consensus::Role::Candidate;
+      }
+      if (s == "retired")
+      {
+        return consensus::Role::Retired;
+      }
+      return std::nullopt;
+    }
+
+    std::optional<consensus::TxStatus> parse_status(const std::string& s)
+    {
+      if (s == "COMMITTED")
+      {
+        return consensus::TxStatus::Committed;
+      }
+      if (s == "PENDING")
+      {
+        return consensus::TxStatus::Pending;
+      }
+      if (s == "INVALID")
+      {
+        return consensus::TxStatus::Invalid;
+      }
+      if (s == "UNKNOWN")
+      {
+        return consensus::TxStatus::Unknown;
+      }
+      return std::nullopt;
+    }
+
+    class Executor
+    {
+    public:
+      explicit Executor(consensus::NodeConfig node_template) :
+        node_template_(node_template)
+      {}
+
+      ScenarioResult run(const std::string& script)
+      {
+        ScenarioResult result;
+        const auto lines = tokenize(script);
+        for (const Line& line : lines)
+        {
+          std::string error = execute(line);
+          if (!error.empty())
+          {
+            result.ok = false;
+            result.failed_line = line.number;
+            result.error = std::move(error);
+            finish(result);
+            return result;
+          }
+          result.commands_executed++;
+        }
+        result.ok = true;
+        finish(result);
+        return result;
+      }
+
+    private:
+      void finish(ScenarioResult& result)
+      {
+        result.cluster = std::move(cluster_);
+        result.invariants = std::move(invariants_);
+      }
+
+      [[nodiscard]] bool started() const
+      {
+        return cluster_ != nullptr;
+      }
+
+      std::string need_cluster()
+      {
+        return started() ? "" : "no cluster yet ('nodes ...' must come first)";
+      }
+
+      std::string execute(const Line& line)
+      {
+        const auto& t = line.tokens;
+        const std::string& cmd = t[0];
+        try
+        {
+          return dispatch(cmd, t);
+        }
+        catch (const std::exception& e)
+        {
+          return std::string("exception: ") + e.what();
+        }
+      }
+
+      std::string dispatch(
+        const std::string& cmd, const std::vector<std::string>& t)
+      {
+        if (cmd == "nodes")
+        {
+          if (started())
+          {
+            return "'nodes' given twice";
+          }
+          if (t.size() < 2)
+          {
+            return "'nodes' needs at least one id";
+          }
+          for (size_t k = 1; k < t.size(); ++k)
+          {
+            const auto id = parse_u64(t[k]);
+            if (!id)
+            {
+              return "bad node id: " + t[k];
+            }
+            options_.initial_config.push_back(*id);
+          }
+          return "";
+        }
+        if (cmd == "leader" && !started())
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id)
+          {
+            return "'leader' needs one id";
+          }
+          options_.initial_leader = *id;
+          leader_set_ = true;
+          return "";
+        }
+        if (cmd == "seed")
+        {
+          const auto v = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!v)
+          {
+            return "'seed' needs a number";
+          }
+          options_.seed = *v;
+          return "";
+        }
+
+        // Everything below acts on a running cluster; build it lazily.
+        if (!started())
+        {
+          if (options_.initial_config.empty())
+          {
+            return need_cluster();
+          }
+          if (!leader_set_)
+          {
+            options_.initial_leader = options_.initial_config.front();
+          }
+          options_.node_template = node_template_;
+          cluster_ = std::make_unique<Cluster>(options_);
+          invariants_ = std::make_unique<InvariantChecker>(*cluster_);
+        }
+        Cluster& c = *cluster_;
+
+        if (cmd == "add-node")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id)
+          {
+            return "'add-node' needs one id";
+          }
+          c.add_node(*id);
+          return "";
+        }
+        if (cmd == "submit")
+        {
+          if (t.size() < 2)
+          {
+            return "'submit' needs a payload";
+          }
+          return c.submit(t[1]) ? "" : "no leader accepted the request";
+        }
+        if (cmd == "submit-to")
+        {
+          const auto id = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'submit-to' needs a known node id and payload";
+          }
+          return c.node(*id).client_request(t[2]).has_value() ?
+            "" :
+            "node refused the request";
+        }
+        if (cmd == "sign")
+        {
+          return c.sign() ? "" : "no leader to sign";
+        }
+        if (cmd == "sign-by")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'sign-by' needs a known node id";
+          }
+          return c.node(*id).emit_signature().has_value() ?
+            "" :
+            "node refused to sign";
+        }
+        if (cmd == "reconfigure")
+        {
+          const auto ids = t.size() == 2 ? parse_id_list(t[1]) : std::nullopt;
+          if (!ids)
+          {
+            return "'reconfigure' needs a comma-separated id list";
+          }
+          return c.reconfigure(*ids) ? "" : "no leader to reconfigure";
+        }
+        if (cmd == "tick" || cmd == "step")
+        {
+          const auto n = t.size() == 2 ? parse_u64(t[1]) : std::optional<uint64_t>(1);
+          if (!n)
+          {
+            return "bad tick count";
+          }
+          for (uint64_t k = 0; k < *n; ++k)
+          {
+            c.tick_all();
+            if (cmd == "tick")
+            {
+              c.drain();
+            }
+          }
+          return "";
+        }
+        if (cmd == "deliver")
+        {
+          const auto from = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto to = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!from || !to)
+          {
+            return "'deliver' needs <from> <to>";
+          }
+          return c.deliver_on_link(*from, *to) ?
+            "" :
+            "no deliverable message on that link";
+        }
+        if (cmd == "drain")
+        {
+          c.drain();
+          return "";
+        }
+        if (cmd == "partition")
+        {
+          std::vector<NodeId> a;
+          std::vector<NodeId> b;
+          bool after_bar = false;
+          for (size_t k = 1; k < t.size(); ++k)
+          {
+            if (t[k] == "|")
+            {
+              after_bar = true;
+              continue;
+            }
+            const auto id = parse_u64(t[k]);
+            if (!id)
+            {
+              return "bad id in partition: " + t[k];
+            }
+            (after_bar ? b : a).push_back(*id);
+          }
+          if (a.empty() || b.empty())
+          {
+            return "'partition' needs two groups split by |";
+          }
+          c.partition(a, b);
+          return "";
+        }
+        if (cmd == "block")
+        {
+          const auto from = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto to = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!from || !to)
+          {
+            return "'block' needs <from> <to>";
+          }
+          c.network().links().block(*from, *to);
+          return "";
+        }
+        if (cmd == "heal")
+        {
+          c.heal();
+          return "";
+        }
+        if (cmd == "drop-link")
+        {
+          const auto from = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto to = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!from || !to)
+          {
+            return "'drop-link' needs <from> <to>";
+          }
+          c.network().drop_link(*from, *to);
+          return "";
+        }
+        if (cmd == "drop-all")
+        {
+          c.network().clear();
+          return "";
+        }
+        if (cmd == "loss" || cmd == "duplicate")
+        {
+          const auto p = t.size() == 2 ? parse_prob(t[1]) : std::nullopt;
+          if (!p)
+          {
+            return "'" + cmd + "' needs a probability in [0,1]";
+          }
+          auto faults = c.network().links().faults(0, 0);
+          if (cmd == "loss")
+          {
+            faults.loss_probability = *p;
+          }
+          else
+          {
+            faults.duplicate_probability = *p;
+          }
+          c.network().links().set_default_faults(faults);
+          return "";
+        }
+        if (cmd == "crash")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'crash' needs a known node id";
+          }
+          c.crash(*id);
+          return "";
+        }
+        if (cmd == "timeout")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'timeout' needs a known node id";
+          }
+          c.node(*id).force_timeout();
+          c.tick(*id);
+          return "";
+        }
+        if (cmd == "check")
+        {
+          const auto violations = invariants_->check();
+          if (!violations.empty())
+          {
+            return "invariant violation: " + violations.front();
+          }
+          return "";
+        }
+        if (cmd == "expect-leader")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          const auto leader = c.find_leader();
+          if (!id)
+          {
+            return "'expect-leader' needs one id";
+          }
+          if (!leader || *leader != *id)
+          {
+            return "expected leader " + t[1] + ", found " +
+              (leader ? std::to_string(*leader) : std::string("none"));
+          }
+          return "";
+        }
+        if (cmd == "expect-new-leader")
+        {
+          const auto leader = c.find_leader();
+          if (!leader || *leader == options_.initial_leader)
+          {
+            return "expected a new leader";
+          }
+          return "";
+        }
+        if (cmd == "expect-no-leader")
+        {
+          const auto leader = c.find_leader();
+          if (leader)
+          {
+            return "expected no leader, found " + std::to_string(*leader);
+          }
+          return "";
+        }
+        if (cmd == "expect-role")
+        {
+          const auto id = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto role = t.size() >= 3 ? parse_role(t[2]) : std::nullopt;
+          if (!id || !role || !c.has_node(*id))
+          {
+            return "'expect-role' needs <id> <role>";
+          }
+          if (c.node(*id).role() != *role)
+          {
+            return "node " + t[1] + " role is " +
+              consensus::to_string(c.node(*id).role()) + ", expected " + t[2];
+          }
+          return "";
+        }
+        if (cmd == "expect-commit")
+        {
+          const auto id = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto min = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!id || !min || !c.has_node(*id))
+          {
+            return "'expect-commit' needs <id> <min>";
+          }
+          if (c.node(*id).commit_index() < *min)
+          {
+            return "node " + t[1] + " commit " +
+              std::to_string(c.node(*id).commit_index()) + " < " + t[2];
+          }
+          return "";
+        }
+        if (cmd == "expect-log-len")
+        {
+          const auto id = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto n = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!id || !n || !c.has_node(*id))
+          {
+            return "'expect-log-len' needs <id> <n>";
+          }
+          if (c.node(*id).last_index() != *n)
+          {
+            return "node " + t[1] + " log length " +
+              std::to_string(c.node(*id).last_index()) + " != " + t[2];
+          }
+          return "";
+        }
+        if (cmd == "expect-status")
+        {
+          const auto txid = t.size() >= 3 ? parse_txid(t[1]) : std::nullopt;
+          const auto status = t.size() >= 3 ? parse_status(t[2]) : std::nullopt;
+          if (!txid || !status)
+          {
+            return "'expect-status' needs <term>.<index> <STATUS>";
+          }
+          const auto leader = c.find_leader();
+          if (!leader)
+          {
+            return "no leader to query status from";
+          }
+          const auto actual = c.node(*leader).status(*txid);
+          if (actual != *status)
+          {
+            return "status of " + t[1] + " is " +
+              consensus::to_string(actual) + ", expected " + t[2];
+          }
+          return "";
+        }
+        if (cmd == "expect-kv")
+        {
+          const auto id = t.size() >= 4 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'expect-kv' needs <id> <key> <value>";
+          }
+          const auto value = c.store(*id).get(t[2]);
+          if (!value || *value != t[3])
+          {
+            return "kv[" + t[2] + "] is " + (value ? *value : "(unset)") +
+              ", expected " + t[3];
+          }
+          return "";
+        }
+        return "unknown command: " + cmd;
+      }
+
+      consensus::NodeConfig node_template_;
+      ClusterOptions options_ = [] {
+        ClusterOptions o;
+        o.initial_config = {};
+        o.initial_leader = 0;
+        return o;
+      }();
+      bool leader_set_ = false;
+      std::unique_ptr<Cluster> cluster_;
+      std::unique_ptr<InvariantChecker> invariants_;
+    };
+  }
+
+  ScenarioResult ScenarioRunner::run_text(const std::string& script)
+  {
+    Executor executor(node_template_);
+    return executor.run(script);
+  }
+
+  ScenarioResult ScenarioRunner::run_file(const std::string& path)
+  {
+    std::ifstream f(path);
+    if (!f)
+    {
+      ScenarioResult result;
+      result.error = "cannot open " + path;
+      return result;
+    }
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    return run_text(buffer.str());
+  }
+}

@@ -1,0 +1,95 @@
+// Scripted scenarios for the driver (§6.1).
+//
+// The paper's consensus functional testing ran through "13 manually
+// written scenario tests exercising replication, election, and
+// reconfiguration under controlled fault conditions", driven by scenario
+// scripts. This is the equivalent: a line-oriented scenario language that
+// builds a cluster, injects inputs and faults at exact points, and checks
+// expectations and the cross-node invariants.
+//
+//   # grow the cluster and survive a leader crash
+//   nodes 1 2 3
+//   leader 1
+//   submit hello
+//   sign
+//   tick 40
+//   expect-status 1.3 COMMITTED
+//   crash 1
+//   tick 120
+//   expect-new-leader
+//   check
+//
+// Commands:
+//   nodes <id>...              initial configuration (first command)
+//   leader <id>                initial leader (default: first node)
+//   seed <n>                   driver RNG seed
+//   add-node <id>              create a joiner outside the configuration
+//   submit <payload>           client request via the current leader
+//   submit-to <id> <payload>   client request via a specific node
+//   sign                       signature tx via the current leader
+//   sign-by <id>               signature tx via a specific node
+//   reconfigure <id>,<id>,...  configuration change via the current leader
+//   tick <n>                   n rounds of tick_all + full drain
+//   step <n>                   n rounds of tick_all only (messages queue)
+//   deliver <from> <to>        deliver oldest message on a directed link
+//   drain                      deliver everything deliverable
+//   partition <ids> | <ids>    cut links between two groups
+//   block <from> <to>          cut one directed link
+//   drop-link <from> <to>      drop all in-flight messages on a link
+//   drop-all                   drop every in-flight message
+//   heal                       remove all partitions and link faults
+//   loss <p>                   default message-loss probability
+//   duplicate <p>              default duplication probability
+//   crash <id>                 fail-stop a node
+//   timeout <id>               force an election timeout
+//   check                      run the invariant checker (fails on violation)
+//   expect-leader <id>         the current leader is <id>
+//   expect-new-leader          a leader exists and it is not the initial one
+//   expect-no-leader           no live node is a leader
+//   expect-role <id> <role>    leader|follower|candidate|retired
+//   expect-commit <id> <min>   node's commit index is at least <min>
+//   expect-log-len <id> <n>    node's log length is exactly <n>
+//   expect-status <t>.<i> <s>  status on the current leader is <s>
+//   expect-kv <id> <key> <val> node's KV store holds key=val
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/cluster.h"
+#include "driver/invariants.h"
+
+namespace scv::driver
+{
+  struct ScenarioResult
+  {
+    bool ok = false;
+    /// 1-based script line of the failure; 0 when ok.
+    size_t failed_line = 0;
+    std::string error;
+    /// The cluster after execution (also on failure, for inspection).
+    std::unique_ptr<Cluster> cluster;
+    std::unique_ptr<InvariantChecker> invariants;
+    size_t commands_executed = 0;
+  };
+
+  class ScenarioRunner
+  {
+  public:
+    /// Per-node configuration template applied at cluster construction.
+    explicit ScenarioRunner(consensus::NodeConfig node_template = {}) :
+      node_template_(node_template)
+    {}
+
+    /// Parses and executes a scenario script.
+    ScenarioResult run_text(const std::string& script);
+
+    /// Reads the script from a file.
+    ScenarioResult run_file(const std::string& path);
+
+  private:
+    consensus::NodeConfig node_template_;
+  };
+}

@@ -1,0 +1,120 @@
+#include "kv/store.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace scv::kv
+{
+  std::optional<std::string> Store::get(const std::string& key) const
+  {
+    return get_at(key, current_version());
+  }
+
+  std::optional<std::string> Store::get_at(
+    const std::string& key, Version version) const
+  {
+    SCV_CHECK(version <= applied_.size());
+    // Scan backwards for the most recent write to the key.
+    for (size_t v = version; v-- > 0;)
+    {
+      for (auto it = applied_[v].writes.rbegin();
+           it != applied_[v].writes.rend();
+           ++it)
+      {
+        if (it->key == key)
+        {
+          return it->value;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::vector<std::string> Store::keys_with_prefix(
+    const std::string& prefix) const
+  {
+    std::map<std::string, bool> present; // key -> currently present
+    for (const auto& ws : applied_)
+    {
+      for (const auto& w : ws.writes)
+      {
+        if (starts_with(w.key, prefix))
+        {
+          present[w.key] = w.value.has_value();
+        }
+      }
+    }
+    std::vector<std::string> out;
+    for (const auto& [key, is_present] : present)
+    {
+      if (is_present)
+      {
+        out.push_back(key);
+      }
+    }
+    return out;
+  }
+
+  Version Store::apply(const WriteSet& ws)
+  {
+    applied_.push_back(ws);
+    const Version v = applied_.size();
+    fire(ordered_hooks_, v, ws);
+    return v;
+  }
+
+  void Store::commit(Version version)
+  {
+    SCV_CHECK(version <= applied_.size());
+    SCV_CHECK_MSG(
+      version >= commit_version_, "commit version must not move backwards");
+    for (Version v = commit_version_ + 1; v <= version; ++v)
+    {
+      fire(committed_hooks_, v, applied_[v - 1]);
+    }
+    commit_version_ = version;
+  }
+
+  void Store::rollback(Version version)
+  {
+    SCV_CHECK_MSG(
+      version >= commit_version_, "cannot roll back committed versions");
+    SCV_CHECK(version <= applied_.size());
+    applied_.resize(version);
+  }
+
+  void Store::on_ordered(const std::string& prefix, Hook hook)
+  {
+    ordered_hooks_.push_back({prefix, std::move(hook)});
+  }
+
+  void Store::on_committed(const std::string& prefix, Hook hook)
+  {
+    committed_hooks_.push_back({prefix, std::move(hook)});
+  }
+
+  bool Store::touches_prefix(const WriteSet& ws, const std::string& prefix)
+  {
+    for (const auto& w : ws.writes)
+    {
+      if (starts_with(w.key, prefix))
+      {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Store::fire(
+    const std::vector<PrefixHook>& hooks, Version version,
+    const WriteSet& ws) const
+  {
+    for (const auto& h : hooks)
+    {
+      if (touches_prefix(ws, h.prefix))
+      {
+        h.hook(version, ws);
+      }
+    }
+  }
+}

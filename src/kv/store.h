@@ -1,0 +1,106 @@
+// Versioned key-value store with write-set transactions and hooks.
+//
+// Models the application state machine that CCF replicates, including the
+// governance map (`ccf.gov.nodes.info`) whose updates are configuration
+// transactions (§2.1). Consensus notifies the store when an entry is
+// *ordered* (appended to the local log) and when it is *committed*; hooks
+// can subscribe to either notification per key prefix — this mirrors the
+// hook mechanism implicated in the premature-retirement bug (§7).
+//
+// The store supports rollback to an earlier version, required when a
+// follower truncates a conflicting log suffix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scv::kv
+{
+  using Version = uint64_t;
+
+  /// One key write; nullopt value means deletion.
+  struct KeyWrite
+  {
+    std::string key;
+    std::optional<std::string> value;
+
+    bool operator==(const KeyWrite&) const = default;
+  };
+
+  /// The replicated effect of one transaction.
+  struct WriteSet
+  {
+    std::vector<KeyWrite> writes;
+
+    bool operator==(const WriteSet&) const = default;
+  };
+
+  /// Called with (version, write set) when an ordered/committed transaction
+  /// touches a subscribed prefix.
+  using Hook = std::function<void(Version, const WriteSet&)>;
+
+  class Store
+  {
+  public:
+    /// Current value of a key, or nullopt if absent.
+    [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+    /// Value of a key as of a historical version.
+    [[nodiscard]] std::optional<std::string> get_at(
+      const std::string& key, Version version) const;
+
+    /// All present keys with the given prefix, in lexicographic order.
+    [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
+    [[nodiscard]] Version current_version() const
+    {
+      return applied_.size();
+    }
+
+    [[nodiscard]] Version commit_version() const
+    {
+      return commit_version_;
+    }
+
+    /// Applies a write set as the next version (ordered but not yet
+    /// committed). Returns the assigned version. Fires ordered hooks.
+    Version apply(const WriteSet& ws);
+
+    /// Marks all versions up to `version` committed. Fires committed hooks
+    /// for each newly committed version, in order.
+    void commit(Version version);
+
+    /// Discards ordered-but-uncommitted versions above `version`.
+    void rollback(Version version);
+
+    /// Subscribes to ordered transactions touching keys with `prefix`.
+    void on_ordered(const std::string& prefix, Hook hook);
+
+    /// Subscribes to committed transactions touching keys with `prefix`.
+    void on_committed(const std::string& prefix, Hook hook);
+
+  private:
+    struct PrefixHook
+    {
+      std::string prefix;
+      Hook hook;
+    };
+
+    [[nodiscard]] static bool touches_prefix(
+      const WriteSet& ws, const std::string& prefix);
+
+    void fire(
+      const std::vector<PrefixHook>& hooks, Version version,
+      const WriteSet& ws) const;
+
+    std::vector<WriteSet> applied_; // version v = applied_[v-1]
+    Version commit_version_ = 0;
+    std::vector<PrefixHook> ordered_hooks_;
+    std::vector<PrefixHook> committed_hooks_;
+  };
+}

@@ -1,0 +1,67 @@
+#include "net/link_filter.h"
+
+namespace scv::net
+{
+  void LinkFilter::block(NodeId from, NodeId to)
+  {
+    blocked_.insert({from, to});
+  }
+
+  void LinkFilter::unblock(NodeId from, NodeId to)
+  {
+    blocked_.erase({from, to});
+  }
+
+  void LinkFilter::partition(
+    const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b)
+  {
+    for (const NodeId a : group_a)
+    {
+      for (const NodeId b : group_b)
+      {
+        block(a, b);
+        block(b, a);
+      }
+    }
+  }
+
+  void LinkFilter::isolate(NodeId node, const std::vector<NodeId>& all_nodes)
+  {
+    for (const NodeId other : all_nodes)
+    {
+      if (other != node)
+      {
+        block(node, other);
+        block(other, node);
+      }
+    }
+  }
+
+  void LinkFilter::heal()
+  {
+    blocked_.clear();
+    link_faults_.clear();
+    default_faults_ = LinkFaults{};
+  }
+
+  bool LinkFilter::blocked(NodeId from, NodeId to) const
+  {
+    return blocked_.contains({from, to});
+  }
+
+  void LinkFilter::set_faults(NodeId from, NodeId to, LinkFaults faults)
+  {
+    link_faults_[{from, to}] = faults;
+  }
+
+  void LinkFilter::set_default_faults(LinkFaults faults)
+  {
+    default_faults_ = faults;
+  }
+
+  LinkFaults LinkFilter::faults(NodeId from, NodeId to) const
+  {
+    const auto it = link_faults_.find({from, to});
+    return it != link_faults_.end() ? it->second : default_faults_;
+  }
+}

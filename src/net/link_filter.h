@@ -1,0 +1,60 @@
+// Directed-link fault model.
+//
+// CCF's consensus layer assumes an unreliable, unordered, uni-directional
+// messaging substrate (§2.1 "Messaging not RPCs"), and the paper's bugs
+// (CheckQuorum, truncation from early AE) require asymmetric partitions and
+// per-link loss. LinkFilter tracks which directed links are currently cut
+// and per-link loss/duplication probabilities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace scv::net
+{
+  using NodeId = uint64_t;
+
+  struct LinkFaults
+  {
+    double loss_probability = 0.0;
+    double duplicate_probability = 0.0;
+  };
+
+  class LinkFilter
+  {
+  public:
+    /// Cuts the directed link from -> to. Asymmetric by design: cutting
+    /// a->b leaves b->a intact, modeling partial/asymmetric partitions.
+    void block(NodeId from, NodeId to);
+
+    void unblock(NodeId from, NodeId to);
+
+    /// Cuts both directions between every pair spanning the two groups.
+    void partition(
+      const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b);
+
+    /// Cuts all links to and from `node`.
+    void isolate(NodeId node, const std::vector<NodeId>& all_nodes);
+
+    /// Removes every block and every fault setting.
+    void heal();
+
+    [[nodiscard]] bool blocked(NodeId from, NodeId to) const;
+
+    /// Sets loss/duplication for one directed link.
+    void set_faults(NodeId from, NodeId to, LinkFaults faults);
+
+    /// Sets default loss/duplication applied to links without an override.
+    void set_default_faults(LinkFaults faults);
+
+    [[nodiscard]] LinkFaults faults(NodeId from, NodeId to) const;
+
+  private:
+    std::set<std::pair<NodeId, NodeId>> blocked_;
+    std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;
+    LinkFaults default_faults_;
+  };
+}

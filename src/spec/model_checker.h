@@ -1,0 +1,274 @@
+// Explicit-state model checking (the TLC analogue, §3/§4).
+//
+// Breadth-first exhaustive exploration of a SpecDef's reachable state
+// space, checking every invariant on every distinct state and every action
+// property on every transition. Counterexamples are reconstructed by
+// walking the predecessor graph, so a violation comes with the shortest
+// action sequence that reaches it — the same workflow the paper describes
+// for translating spec counterexamples into functional tests (§7).
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "spec/spec.h"
+#include "spec/stats.h"
+
+namespace scv::spec
+{
+  struct CheckLimits
+  {
+    uint64_t max_distinct_states = UINT64_MAX;
+    uint64_t max_depth = UINT64_MAX;
+    double time_budget_seconds = 1e18;
+  };
+
+  template <SpecState S>
+  struct CheckResult
+  {
+    bool ok = true;
+    std::optional<Counterexample<S>> counterexample;
+    ExplorationStats stats;
+  };
+
+  template <SpecState S>
+  class ModelChecker
+  {
+  public:
+    explicit ModelChecker(const SpecDef<S>& spec, CheckLimits limits = {}) :
+      spec_(spec),
+      limits_(limits)
+    {}
+
+    CheckResult<S> run()
+    {
+      const auto started = std::chrono::steady_clock::now();
+      CheckResult<S> result;
+
+      records_.clear();
+      index_.clear();
+
+      for (const S& init : spec_.init)
+      {
+        if (insert(init, -1, "<init>"))
+        {
+          result.stats.generated_states++;
+          if (!check_state(init, records_.size() - 1, result))
+          {
+            finish(result, started, false);
+            return result;
+          }
+        }
+      }
+
+      size_t cursor = 0;
+      while (cursor < records_.size())
+      {
+        if (elapsed(started) > limits_.time_budget_seconds ||
+            records_.size() >= limits_.max_distinct_states)
+        {
+          finish(result, started, false);
+          return result;
+        }
+
+        const size_t current = cursor++;
+        // Copy: records_ may reallocate during expansion.
+        const S state = records_[current].state;
+        const uint32_t depth = records_[current].depth;
+        result.stats.max_depth =
+          std::max<uint64_t>(result.stats.max_depth, depth);
+
+        if (!spec_.within_constraint(state) || depth >= limits_.max_depth)
+        {
+          continue;
+        }
+
+        bool violated = false;
+        for (size_t a = 0; a < spec_.actions.size() && !violated; ++a)
+        {
+          spec_.actions[a].expand(state, [&](const S& next) {
+            if (violated)
+            {
+              return;
+            }
+            result.stats.generated_states++;
+            result.stats.transitions++;
+            result.stats.action_coverage[spec_.actions[a].name]++;
+            for (const auto& prop : spec_.action_properties)
+            {
+              if (!prop.check(state, next))
+              {
+                result.counterexample =
+                  build_counterexample(current, prop.name);
+                result.counterexample->steps.push_back(
+                  {spec_.actions[a].name, next});
+                violated = true;
+                return;
+              }
+            }
+            if (insert(next, static_cast<int64_t>(current), spec_.actions[a].name))
+            {
+              if (!check_state(next, records_.size() - 1, result))
+              {
+                violated = true;
+              }
+            }
+          });
+        }
+        if (violated)
+        {
+          result.ok = false;
+          finish(result, started, false);
+          return result;
+        }
+      }
+
+      finish(result, started, true);
+      return result;
+    }
+
+  private:
+    struct Record
+    {
+      S state;
+      int64_t parent;
+      std::string action;
+      uint32_t depth;
+    };
+
+    static double elapsed(std::chrono::steady_clock::time_point started)
+    {
+      return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started)
+        .count();
+    }
+
+    void finish(
+      CheckResult<S>& result,
+      std::chrono::steady_clock::time_point started,
+      bool complete)
+    {
+      result.stats.distinct_states = records_.size();
+      result.stats.seconds = elapsed(started);
+      result.stats.complete = complete;
+      if (result.counterexample)
+      {
+        result.ok = false;
+      }
+    }
+
+    /// Returns true if the state was new.
+    bool insert(const S& state, int64_t parent, const std::string& action)
+    {
+      const uint64_t fp = fingerprint(state);
+      auto [it, inserted] = index_.try_emplace(fp);
+      if (!inserted)
+      {
+        for (const size_t idx : it->second)
+        {
+          if (records_[idx].state == state)
+          {
+            return false;
+          }
+        }
+      }
+      const uint32_t depth =
+        parent < 0 ? 0 : records_[static_cast<size_t>(parent)].depth + 1;
+      records_.push_back({state, parent, action, depth});
+      it->second.push_back(records_.size() - 1);
+      return true;
+    }
+
+    /// Checks invariants; records a counterexample and returns false on
+    /// violation.
+    bool check_state(const S& state, size_t index, CheckResult<S>& result)
+    {
+      for (const auto& inv : spec_.invariants)
+      {
+        if (!inv.check(state))
+        {
+          result.counterexample =
+            build_counterexample(static_cast<int64_t>(index), inv.name);
+          result.ok = false;
+          return false;
+        }
+      }
+      return true;
+    }
+
+    Counterexample<S> build_counterexample(
+      int64_t index, const std::string& property)
+    {
+      Counterexample<S> cex;
+      cex.property = property;
+      std::vector<TraceStep<S>> reversed;
+      while (index >= 0)
+      {
+        const Record& r = records_[static_cast<size_t>(index)];
+        reversed.push_back({r.action, r.state});
+        index = r.parent;
+      }
+      cex.steps.assign(reversed.rbegin(), reversed.rend());
+      return cex;
+    }
+
+    const SpecDef<S>& spec_;
+    CheckLimits limits_;
+    std::deque<Record> records_;
+    std::unordered_map<uint64_t, std::vector<size_t>> index_;
+  };
+
+  /// Convenience wrapper.
+  template <SpecState S>
+  CheckResult<S> model_check(const SpecDef<S>& spec, CheckLimits limits = {})
+  {
+    ModelChecker<S> checker(spec, limits);
+    return checker.run();
+  }
+
+  template <SpecState S>
+  struct ReachabilityResult
+  {
+    /// Whether a state satisfying the predicate is reachable.
+    bool reachable = false;
+    /// The shortest action sequence to such a state (when reachable).
+    std::vector<TraceStep<S>> witness;
+    ExplorationStats stats;
+    /// Exploration exhausted the bounded space: unreachable is definitive.
+    bool definitive = false;
+  };
+
+  /// Searches for a reachable state satisfying `goal` — the standard trick
+  /// of model checking ¬goal as an invariant, packaged. BFS returns the
+  /// shortest witness.
+  template <SpecState S>
+  ReachabilityResult<S> find_reachable(
+    const SpecDef<S>& spec,
+    const std::string& goal_name,
+    std::function<bool(const S&)> goal,
+    CheckLimits limits = {})
+  {
+    SpecDef<S> probe = spec;
+    probe.invariants.clear();
+    probe.action_properties.clear();
+    probe.invariants.push_back(
+      {goal_name, [goal](const S& s) { return !goal(s); }});
+    const auto result = model_check(probe, limits);
+    ReachabilityResult<S> out;
+    out.stats = result.stats;
+    if (!result.ok && result.counterexample.has_value())
+    {
+      out.reachable = true;
+      out.definitive = true;
+      out.witness = result.counterexample->steps;
+    }
+    else
+    {
+      out.reachable = false;
+      out.definitive = result.stats.complete;
+    }
+    return out;
+  }
+}

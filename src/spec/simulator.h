@@ -1,0 +1,348 @@
+// Randomized simulation of a spec (§4).
+//
+// The paper found exhaustive model checking too slow for CI once the
+// consensus spec modeled reconfiguration, and fell back to simulation: a
+// time-quota'd random walk over behaviors up to a given depth. Coverage is
+// improved by *action weighting* — failure actions (message drops,
+// timeouts) are down-weighted so walks make more forward progress. The
+// weight field on Action feeds the weighted pick here; a weight override
+// map supports the manual-vs-uniform weighting experiment
+// (bench/sim_weighting).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "spec/spec.h"
+#include "spec/stats.h"
+#include "util/rng.h"
+
+namespace scv::spec
+{
+  enum class WeightingMode
+  {
+    /// All enabled actions equally likely.
+    Uniform,
+    /// Static per-action weights from the spec (the paper's manual
+    /// weighting of failure actions, §4).
+    Static,
+    /// Q-learning over (state features, action) pairs, rewarding novel
+    /// states — the paper's attempt at automatic weighting ("we were
+    /// unable to find the right set of variables as input to Q-Learning's
+    /// state hash function H that achieved better coverage at the same
+    /// cost compared to manual weighting").
+    QLearning,
+  };
+
+  struct SimOptions
+  {
+    uint64_t seed = 1;
+    uint64_t max_behaviors = UINT64_MAX;
+    uint64_t max_depth = 50;
+    double time_budget_seconds = 1.0;
+    /// When false, all actions are treated as weight 1 (uniform pick).
+    /// Kept for backwards compatibility: false forces Uniform mode.
+    bool use_weights = true;
+    WeightingMode mode = WeightingMode::Static;
+    /// Track the set of distinct fingerprints visited (costs memory).
+    bool track_distinct = true;
+
+    // Q-learning hyperparameters.
+    double q_alpha = 0.3; // learning rate
+    double q_gamma = 0.7; // discount
+    double q_epsilon = 0.1; // exploration probability
+  };
+
+  template <SpecState S>
+  struct SimResult
+  {
+    bool ok = true;
+    std::optional<Counterexample<S>> counterexample;
+    ExplorationStats stats;
+    uint64_t behaviors = 0;
+  };
+
+  template <SpecState S>
+  class Simulator
+  {
+  public:
+    Simulator(const SpecDef<S>& spec, SimOptions options = {}) :
+      spec_(spec),
+      options_(options),
+      rng_(options.seed)
+    {}
+
+    /// Optional per-state observer for domain-specific coverage metrics.
+    void set_observer(std::function<void(const S&)> observer)
+    {
+      observer_ = std::move(observer);
+    }
+
+    /// Q-learning state-feature hash H: maps a state to the bucket whose
+    /// action values are learned. Defaults to the full fingerprint; the
+    /// paper's difficulty was exactly choosing a coarser H that
+    /// generalizes (§4).
+    void set_q_features(std::function<uint64_t(const S&)> features)
+    {
+      q_features_ = std::move(features);
+    }
+
+    SimResult<S> run()
+    {
+      const auto started = std::chrono::steady_clock::now();
+      SimResult<S> result;
+      std::unordered_set<uint64_t> distinct;
+
+      // Time exhausts a behavior mid-walk; the behavior cap only stops
+      // *starting* new walks.
+      const auto out_of_time = [&] {
+        return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - started)
+                 .count() > options_.time_budget_seconds;
+      };
+      const auto out_of_budget = [&] {
+        return out_of_time() || result.behaviors >= options_.max_behaviors;
+      };
+
+      while (!out_of_budget())
+      {
+        result.behaviors++;
+        // Pick an initial state uniformly.
+        S current = spec_.init[rng_.below(spec_.init.size())];
+        note_state(current, distinct, result);
+
+        std::vector<TraceStep<S>> walk;
+        walk.push_back({"<init>", current});
+
+        for (uint64_t depth = 0; depth < options_.max_depth; ++depth)
+        {
+          if (!spec_.within_constraint(current))
+          {
+            break;
+          }
+          // Expand every action; pick among enabled ones according to the
+          // weighting mode, then a successor uniformly within the chosen
+          // action.
+          std::vector<std::vector<S>> successors(spec_.actions.size());
+          std::vector<bool> enabled(spec_.actions.size(), false);
+          bool any = false;
+          for (size_t a = 0; a < spec_.actions.size(); ++a)
+          {
+            spec_.actions[a].expand(current, [&](const S& next) {
+              successors[a].push_back(next);
+            });
+            result.stats.generated_states += successors[a].size();
+            enabled[a] = !successors[a].empty();
+            any = any || enabled[a];
+          }
+          if (!any)
+          {
+            break; // deadlock
+          }
+          const WeightingMode mode = !options_.use_weights ?
+            WeightingMode::Uniform :
+            options_.mode;
+          const uint64_t bucket = q_bucket(current);
+          const auto picked = pick_action(mode, enabled, bucket);
+          if (!picked.has_value())
+          {
+            break; // all enabled actions have zero weight
+          }
+          const size_t a = *picked;
+          const S next = successors[a][rng_.below(successors[a].size())];
+          result.stats.transitions++;
+          result.stats.action_coverage[spec_.actions[a].name]++;
+
+          if (mode == WeightingMode::QLearning)
+          {
+            // Reward novelty; bootstrap from the best known value of the
+            // successor bucket.
+            const uint64_t next_fp = fingerprint(next);
+            const double reward =
+              options_.track_distinct && distinct.contains(next_fp) ? 0.0 :
+                                                                      1.0;
+            const uint64_t next_bucket =
+              q_features_ ? q_features_(next) : next_fp;
+            double best_next = 0.0;
+            for (size_t a2 = 0; a2 < spec_.actions.size(); ++a2)
+            {
+              best_next = std::max(best_next, q_value(next_bucket, a2));
+            }
+            const double old = q_value(bucket, a);
+            q_[q_key(bucket, a)] = old +
+              options_.q_alpha *
+                (reward + options_.q_gamma * best_next - old);
+          }
+
+          for (const auto& prop : spec_.action_properties)
+          {
+            if (!prop.check(current, next))
+            {
+              result.ok = false;
+              result.counterexample = make_cex(walk, prop.name);
+              result.counterexample->steps.push_back(
+                {spec_.actions[a].name, next});
+              finish(result, started, distinct);
+              return result;
+            }
+          }
+
+          current = next;
+          walk.push_back({spec_.actions[a].name, current});
+          note_state(current, distinct, result);
+          result.stats.max_depth =
+            std::max<uint64_t>(result.stats.max_depth, depth + 1);
+
+          for (const auto& inv : spec_.invariants)
+          {
+            if (!inv.check(current))
+            {
+              result.ok = false;
+              result.counterexample = make_cex(walk, inv.name);
+              finish(result, started, distinct);
+              return result;
+            }
+          }
+          if (out_of_time())
+          {
+            break;
+          }
+        }
+      }
+
+      finish(result, started, distinct);
+      return result;
+    }
+
+  private:
+    [[nodiscard]] uint64_t q_bucket(const S& state) const
+    {
+      return q_features_ ? q_features_(state) : fingerprint(state);
+    }
+
+    [[nodiscard]] static uint64_t q_key(uint64_t bucket, size_t action)
+    {
+      return hash_combine(bucket, static_cast<uint64_t>(action) + 1);
+    }
+
+    [[nodiscard]] double q_value(uint64_t bucket, size_t action) const
+    {
+      const auto it = q_.find(q_key(bucket, action));
+      return it != q_.end() ? it->second : 0.0;
+    }
+
+    std::optional<size_t> pick_action(
+      WeightingMode mode,
+      const std::vector<bool>& enabled,
+      uint64_t bucket)
+    {
+      std::vector<double> weights(enabled.size(), 0.0);
+      switch (mode)
+      {
+        case WeightingMode::Uniform:
+          for (size_t a = 0; a < enabled.size(); ++a)
+          {
+            weights[a] = enabled[a] ? 1.0 : 0.0;
+          }
+          break;
+        case WeightingMode::Static:
+          for (size_t a = 0; a < enabled.size(); ++a)
+          {
+            weights[a] = enabled[a] ? spec_.actions[a].weight : 0.0;
+          }
+          break;
+        case WeightingMode::QLearning:
+        {
+          if (rng_.chance(options_.q_epsilon))
+          {
+            for (size_t a = 0; a < enabled.size(); ++a)
+            {
+              weights[a] = enabled[a] ? 1.0 : 0.0;
+            }
+            break;
+          }
+          // Greedy: the enabled action with the highest learned value
+          // (ties broken uniformly).
+          double best = -1.0;
+          for (size_t a = 0; a < enabled.size(); ++a)
+          {
+            if (enabled[a])
+            {
+              best = std::max(best, q_value(bucket, a));
+            }
+          }
+          for (size_t a = 0; a < enabled.size(); ++a)
+          {
+            weights[a] =
+              enabled[a] && q_value(bucket, a) >= best - 1e-12 ? 1.0 : 0.0;
+          }
+          break;
+        }
+      }
+      double total = 0;
+      for (const double w : weights)
+      {
+        total += w;
+      }
+      if (total <= 0)
+      {
+        return std::nullopt;
+      }
+      return rng_.weighted_pick(weights);
+    }
+
+    void note_state(
+      const S& state,
+      std::unordered_set<uint64_t>& distinct,
+      SimResult<S>& result)
+    {
+      (void)result;
+      if (options_.track_distinct)
+      {
+        distinct.insert(fingerprint(state));
+      }
+      if (observer_)
+      {
+        observer_(state);
+      }
+    }
+
+    static Counterexample<S> make_cex(
+      const std::vector<TraceStep<S>>& walk, const std::string& property)
+    {
+      Counterexample<S> cex;
+      cex.property = property;
+      cex.steps = walk;
+      return cex;
+    }
+
+    void finish(
+      SimResult<S>& result,
+      std::chrono::steady_clock::time_point started,
+      const std::unordered_set<uint64_t>& distinct)
+    {
+      result.stats.seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count();
+      result.stats.distinct_states = distinct.size();
+      result.stats.complete = false;
+    }
+
+    const SpecDef<S>& spec_;
+    SimOptions options_;
+    Rng rng_;
+    std::function<void(const S&)> observer_;
+    std::function<uint64_t(const S&)> q_features_;
+    std::unordered_map<uint64_t, double> q_;
+  };
+
+  template <SpecState S>
+  SimResult<S> simulate(const SpecDef<S>& spec, SimOptions options = {})
+  {
+    Simulator<S> sim(spec, options);
+    return sim.run();
+  }
+}

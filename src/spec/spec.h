@@ -1,0 +1,118 @@
+// Specification framework: guarded-action transition systems.
+//
+// This is the C++ analogue of the paper's TLA+ layer (§3). A specification
+// is Init ∧ □[Next]_vars where Next is a disjunction of named actions; here
+// a SpecDef<S> holds initial states and a list of Actions, each of which
+// enumerates the successors it can produce from a given state. Safety
+// invariants are predicates over states; action properties (like
+// AppendOnlyProp) are predicates over state *pairs*.
+//
+// State type requirements:
+//   * bool operator==(const S&) const
+//   * void serialize(ByteSink&) const   — canonical; equal states produce
+//                                         equal bytes (used to fingerprint)
+//   * std::string to_string() const     — for counterexample printing
+#pragma once
+
+#include <concepts>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace scv::spec
+{
+  template <class S>
+  concept SpecState = requires(const S& s, ByteSink& sink) {
+    { s == s } -> std::convertible_to<bool>;
+    { s.serialize(sink) };
+    { s.to_string() } -> std::convertible_to<std::string>;
+  };
+
+  template <SpecState S>
+  uint64_t fingerprint(const S& state)
+  {
+    ByteSink sink;
+    state.serialize(sink);
+    return sink.digest();
+  }
+
+  /// Callback receiving each successor produced by an action.
+  template <class S>
+  using Emit = std::function<void(const S&)>;
+
+  /// A named guarded action: from a state, emits zero or more successors.
+  /// Emitting nothing means the action is disabled in that state.
+  template <SpecState S>
+  struct Action
+  {
+    std::string name;
+    std::function<void(const S&, const Emit<S>&)> expand;
+    /// Relative likelihood of being picked during simulation; the paper
+    /// manually down-weights failure actions to bias simulation toward
+    /// forward progress (§4).
+    double weight = 1.0;
+  };
+
+  template <SpecState S>
+  struct Invariant
+  {
+    std::string name;
+    std::function<bool(const S&)> check;
+  };
+
+  /// Property over a transition (s, s'); e.g. AppendOnlyProp.
+  template <SpecState S>
+  struct ActionProperty
+  {
+    std::string name;
+    std::function<bool(const S&, const S&)> check;
+  };
+
+  template <SpecState S>
+  struct SpecDef
+  {
+    std::string name;
+    std::vector<S> init;
+    std::vector<Action<S>> actions;
+    std::vector<Invariant<S>> invariants;
+    std::vector<ActionProperty<S>> action_properties;
+    /// State constraint (§4): successors of states violating it are not
+    /// explored. Used to bound the unbounded spec for exhaustive checking.
+    std::function<bool(const S&)> constraint;
+
+    [[nodiscard]] bool within_constraint(const S& s) const
+    {
+      return !constraint || constraint(s);
+    }
+  };
+
+  /// One step of a counterexample: the action taken and the state reached.
+  template <SpecState S>
+  struct TraceStep
+  {
+    std::string action;
+    S state;
+  };
+
+  template <SpecState S>
+  struct Counterexample
+  {
+    /// Violated invariant or action property.
+    std::string property;
+    /// steps[0].action is "<init>".
+    std::vector<TraceStep<S>> steps;
+
+    [[nodiscard]] std::string to_string() const
+    {
+      std::string out = "violation of " + property + "\n";
+      for (size_t i = 0; i < steps.size(); ++i)
+      {
+        out += "  [" + std::to_string(i) + "] " + steps[i].action + "\n";
+        out += "      " + steps[i].state.to_string() + "\n";
+      }
+      return out;
+    }
+  };
+}

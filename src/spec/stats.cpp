@@ -1,0 +1,42 @@
+#include "spec/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace scv::spec
+{
+  double ExplorationStats::states_per_minute() const
+  {
+    if (seconds <= 0.0)
+    {
+      return 0.0;
+    }
+    return static_cast<double>(generated_states) / seconds * 60.0;
+  }
+
+  std::string ExplorationStats::summary() const
+  {
+    std::ostringstream os;
+    os << "distinct=" << distinct_states << " generated=" << generated_states
+       << " transitions=" << transitions << " depth=" << max_depth
+       << " seconds=" << seconds << " states/min=" << states_per_minute()
+       << (complete ? " (complete)" : " (bounded)");
+    return os.str();
+  }
+
+  std::string ExplorationStats::coverage_report() const
+  {
+    std::vector<std::pair<std::string, uint64_t>> rows(
+      action_coverage.begin(), action_coverage.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    std::ostringstream os;
+    for (const auto& [name, count] : rows)
+    {
+      os << "  " << name << ": " << count << "\n";
+    }
+    return os.str();
+  }
+}

@@ -1,0 +1,30 @@
+// Exploration statistics shared by the model checker, simulator and trace
+// validator; these are the numbers Table 1 reports (states explored, states
+// per minute).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace scv::spec
+{
+  struct ExplorationStats
+  {
+    uint64_t distinct_states = 0;
+    uint64_t generated_states = 0; // including duplicates
+    uint64_t transitions = 0;
+    uint64_t max_depth = 0;
+    double seconds = 0.0;
+    bool complete = false; // exhausted the (constrained) state space
+    /// Transitions taken per action — TLC-style action coverage; an
+    /// action stuck at zero usually means a guard is wrong or the model
+    /// bounds starve it.
+    std::map<std::string, uint64_t> action_coverage;
+
+    [[nodiscard]] double states_per_minute() const;
+    [[nodiscard]] std::string summary() const;
+    /// One "name: count" line per action, sorted by count descending.
+    [[nodiscard]] std::string coverage_report() const;
+  };
+}

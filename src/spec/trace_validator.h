@@ -1,0 +1,286 @@
+// Generic trace validation engine (§6).
+//
+// Checks T ∩ S ≠ ∅: given a sequence of per-trace-line expanders (each
+// enumerating the spec transitions consistent with that line), search for
+// at least one spec behavior that matches the whole trace. Faults that are
+// not recorded in the trace (message drops) are handled by composing an
+// optional fault expander before each step, mirroring the paper's
+// IsFault · Next composition (Listing 5).
+//
+// Two search modes, reproducing §6.4:
+//  * BFS computes the full frontier of candidate spec states line by line —
+//    complete but can explode with nondeterminism;
+//  * DFS looks for a single witness behavior with memoized dead ends —
+//    "orders of magnitude faster", which is what made trace validation
+//    usable in CI.
+//
+// On failure there is no counterexample (§6.3) — instead the result carries
+// the paper's diagnostics: the deepest line matched, the candidate states
+// at that line (the "unsatisfied breakpoint" view), and per-line frontier
+// sizes.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "spec/spec.h"
+
+namespace scv::spec
+{
+  /// Expander for one trace line: from a candidate spec state, emit every
+  /// spec successor consistent with the line.
+  template <SpecState S>
+  struct TraceLineExpander
+  {
+    std::string description; // e.g. "sndAE node=1 peer=2"
+    std::function<void(const S&, const Emit<S>&)> expand;
+  };
+
+  enum class SearchMode
+  {
+    Bfs,
+    Dfs,
+  };
+
+  template <SpecState S>
+  struct ValidationResult
+  {
+    bool ok = false;
+    /// Number of trace lines successfully matched (== lines.size() iff ok).
+    size_t lines_matched = 0;
+    uint64_t states_explored = 0;
+    double seconds = 0.0;
+    /// Candidate states alive at the deepest line reached (diagnostics).
+    std::vector<S> frontier_at_failure;
+    /// Description of the first line that could not be matched.
+    std::string failed_line;
+    /// For BFS: frontier size after each line (|T| growth).
+    std::vector<size_t> frontier_sizes;
+    /// The witness behavior found (DFS mode, or reconstructed in BFS).
+    std::vector<S> witness;
+  };
+
+  struct ValidationOptions
+  {
+    SearchMode mode = SearchMode::Dfs;
+    /// Maximum number of fault steps composed before each line.
+    size_t max_faults_per_step = 0;
+    double time_budget_seconds = 1e18;
+    uint64_t max_states = UINT64_MAX;
+  };
+
+  template <SpecState S>
+  class TraceValidator
+  {
+  public:
+    TraceValidator(
+      std::vector<S> init,
+      std::vector<TraceLineExpander<S>> lines,
+      ValidationOptions options = {}) :
+      init_(std::move(init)),
+      lines_(std::move(lines)),
+      options_(options)
+    {}
+
+    /// Optional fault expander (e.g. "drop any one in-flight message"),
+    /// composed 0..max_faults_per_step times before each line.
+    void set_fault_expander(std::function<void(const S&, const Emit<S>&)> f)
+    {
+      fault_ = std::move(f);
+    }
+
+    ValidationResult<S> run()
+    {
+      started_ = std::chrono::steady_clock::now();
+      result_ = {};
+      if (options_.mode == SearchMode::Bfs)
+      {
+        run_bfs();
+      }
+      else
+      {
+        run_dfs();
+      }
+      result_.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_)
+                          .count();
+      return result_;
+    }
+
+  private:
+    [[nodiscard]] bool out_of_budget() const
+    {
+      return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started_)
+               .count() > options_.time_budget_seconds ||
+        result_.states_explored > options_.max_states;
+    }
+
+    /// Emits `state` and every state reachable from it by up to
+    /// max_faults_per_step applications of the fault expander.
+    void with_faults(const S& state, const Emit<S>& emit)
+    {
+      emit(state);
+      if (!fault_ || options_.max_faults_per_step == 0)
+      {
+        return;
+      }
+      std::vector<S> layer = {state};
+      for (size_t k = 0; k < options_.max_faults_per_step; ++k)
+      {
+        std::vector<S> next_layer;
+        for (const S& s : layer)
+        {
+          fault_(s, [&](const S& f) {
+            next_layer.push_back(f);
+            emit(f);
+          });
+        }
+        if (next_layer.empty())
+        {
+          break;
+        }
+        layer = std::move(next_layer);
+      }
+    }
+
+    void run_bfs()
+    {
+      // Frontier of all candidate states, deduplicated by fingerprint.
+      std::vector<S> frontier = init_;
+      for (size_t line = 0; line < lines_.size(); ++line)
+      {
+        std::vector<S> next;
+        std::unordered_set<uint64_t> seen;
+        for (const S& s : frontier)
+        {
+          with_faults(s, [&](const S& pre) {
+            lines_[line].expand(pre, [&](const S& succ) {
+              result_.states_explored++;
+              const uint64_t fp = fingerprint(succ);
+              if (seen.insert(fp).second)
+              {
+                next.push_back(succ);
+              }
+            });
+          });
+          if (out_of_budget())
+          {
+            break;
+          }
+        }
+        result_.frontier_sizes.push_back(next.size());
+        if (next.empty() || out_of_budget())
+        {
+          result_.ok = false;
+          result_.lines_matched = line;
+          result_.frontier_at_failure = std::move(frontier);
+          result_.failed_line = lines_[line].description;
+          return;
+        }
+        frontier = std::move(next);
+      }
+      result_.ok = true;
+      result_.lines_matched = lines_.size();
+      if (!frontier.empty())
+      {
+        result_.witness.push_back(frontier.front());
+      }
+    }
+
+    void run_dfs()
+    {
+      // Memoize (line, state-fingerprint) pairs known to fail — the
+      // "unsatisfied" states (§6.3). deepest_* provide the diagnostics.
+      dead_.clear();
+      deepest_line_ = 0;
+      deepest_frontier_.clear();
+
+      for (const S& init : init_)
+      {
+        std::vector<S> path = {init};
+        if (dfs_step(init, 0, path))
+        {
+          result_.ok = true;
+          result_.lines_matched = lines_.size();
+          result_.witness = std::move(path);
+          return;
+        }
+        if (out_of_budget())
+        {
+          break;
+        }
+      }
+      result_.ok = false;
+      result_.lines_matched = deepest_line_;
+      result_.frontier_at_failure = std::move(deepest_frontier_);
+      if (deepest_line_ < lines_.size())
+      {
+        result_.failed_line = lines_[deepest_line_].description;
+      }
+    }
+
+    bool dfs_step(const S& state, size_t line, std::vector<S>& path)
+    {
+      if (line == lines_.size())
+      {
+        return true;
+      }
+      if (out_of_budget())
+      {
+        return false;
+      }
+      const uint64_t fp = fingerprint(state);
+      if (dead_.contains(key(line, fp)))
+      {
+        return false;
+      }
+      if (line > deepest_line_)
+      {
+        deepest_line_ = line;
+        deepest_frontier_.clear();
+      }
+      if (line == deepest_line_ && deepest_frontier_.size() < 8)
+      {
+        deepest_frontier_.push_back(state);
+      }
+
+      std::vector<S> successors;
+      with_faults(state, [&](const S& pre) {
+        lines_[line].expand(pre, [&](const S& succ) {
+          result_.states_explored++;
+          successors.push_back(succ);
+        });
+      });
+      for (const S& succ : successors)
+      {
+        path.push_back(succ);
+        if (dfs_step(succ, line + 1, path))
+        {
+          return true;
+        }
+        path.pop_back();
+      }
+      dead_.insert(key(line, fp));
+      return false;
+    }
+
+    static uint64_t key(size_t line, uint64_t fp)
+    {
+      return hash_combine(static_cast<uint64_t>(line) + 1, fp);
+    }
+
+    std::vector<S> init_;
+    std::vector<TraceLineExpander<S>> lines_;
+    ValidationOptions options_;
+    std::function<void(const S&, const Emit<S>&)> fault_;
+
+    std::chrono::steady_clock::time_point started_;
+    ValidationResult<S> result_;
+    std::unordered_set<uint64_t> dead_;
+    size_t deepest_line_ = 0;
+    std::vector<S> deepest_frontier_;
+  };
+}

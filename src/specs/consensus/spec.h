@@ -1,0 +1,171 @@
+// The consensus specification (§4): 17 actions over the State of
+// spec_types.h, with the paper's safety properties, plus the two network
+// fault actions of the network module (message drop and duplication).
+//
+// Action inventory (matching the paper's action count and the CCF TLA+
+// spec's vocabulary):
+//   Timeout, RequestVote, BecomeLeader, ClientRequest,
+//   SignCommittableMessages, ChangeConfiguration, AppendEntries,
+//   HandleAppendEntriesRequest, HandleAppendEntriesResponse,
+//   HandleRequestVoteRequest, HandleRequestVoteResponse, UpdateTerm,
+//   CheckQuorum, ProposeVote, HandleProposeVote, AdvanceCommitIndex,
+//   AppendRetirement
+//   (+ network module: DropMessage, DuplicateMessage)
+//
+// The individual action transition functions are exported so the trace
+// validation spec (§6.2) can reuse them with trace-derived parameters —
+// exactly how the paper's Trace spec reuses the high-level definitions.
+//
+// The spec is unbounded; Params carries the model's state constraints
+// (max term, requests, log length, network size, permitted
+// reconfigurations), mirroring the paper's MC model (§4, Fig. 2 ③).
+#pragma once
+
+#include "consensus/bug_flags.h"
+#include "spec/spec.h"
+#include "specs/consensus/spec_types.h"
+
+namespace scv::specs::ccfraft
+{
+  struct Params
+  {
+    uint8_t n_nodes = 3;
+    /// Initial configuration; 0 means "all n_nodes".
+    Bits initial_config = 0;
+    Nid initial_leader = 1;
+    /// The same flags as the implementation: spec and impl stay aligned.
+    consensus::BugFlags bugs;
+
+    // Model bounds (state constraints, §4).
+    uint8_t max_term = 3;
+    uint8_t max_requests = 2;
+    uint8_t max_log_len = 8;
+    uint8_t max_batch = 3; // cap on entries per AppendEntries
+    uint8_t max_network = 6; // cap on total in-flight message copies
+    uint8_t max_copies = 2; // cap per distinct message (duplication bound)
+    /// Configurations a leader may propose; empty disables reconfiguration.
+    std::vector<Bits> allowed_reconfigs;
+
+    /// Simulation weight for failure actions (Timeout, CheckQuorum, Drop,
+    /// Duplicate); the paper manually down-weights these to push
+    /// simulation toward forward progress (§4).
+    double failure_weight = 0.2;
+
+    [[nodiscard]] Bits initial_bits() const
+    {
+      if (initial_config != 0)
+      {
+        return initial_config;
+      }
+      Bits all = 0;
+      for (Nid n = 1; n <= n_nodes; ++n)
+      {
+        all = with_node(all, n);
+      }
+      return all;
+    }
+  };
+
+  /// Bootstrapped initial state: every node starts with the initial
+  /// configuration transaction and a signature, both committed, and
+  /// `initial_leader` leads term 1 (§2.1).
+  State initial_state(const Params& params);
+
+  /// The paper's full initial-state set (§4): "every non-empty subset of
+  /// nodes in the initial configuration with any node in that initial
+  /// configuration as an initial leader". Subsets are taken of
+  /// params.initial_bits(); n_nodes stays fixed (nodes outside the subset
+  /// are passive joiners).
+  std::vector<State> all_initial_states(const Params& params);
+
+  /// Whether node i currently answers messages (retirement/bug 6 aware).
+  bool participating(const Params& params, const SpecNode& node);
+
+  /// Log rollback used by Timeout and on AE conflicts: truncates and
+  /// recomputes retirement membership from the surviving log.
+  void rollback_node(const Params& params, SpecNode& node, uint8_t new_last);
+
+  // --- individual action transition functions -----------------------------
+  // Each enumerates the successors reachable by that action for the given
+  // acting node (and message, where applicable). They emit nothing when
+  // the action is disabled.
+  namespace actions
+  {
+    using spec::Emit;
+
+    void timeout(const Params&, const State&, Nid i, const Emit<State>&);
+    void request_vote(
+      const Params&, const State&, Nid i, Nid j, const Emit<State>&);
+    void become_leader(const Params&, const State&, Nid i, const Emit<State>&);
+    void client_request(const Params&, const State&, Nid i, const Emit<State>&);
+    void sign(const Params&, const State&, Nid i, const Emit<State>&);
+    void change_configuration(
+      const Params&, const State&, Nid i, Bits cfg, const Emit<State>&);
+    /// forced_entries < 0 enumerates every batch size in [0, max_batch];
+    /// otherwise only the given size (used by trace validation).
+    void append_entries(
+      const Params&,
+      const State&,
+      Nid i,
+      Nid j,
+      int forced_entries,
+      const Emit<State>&);
+    void handle_ae_request(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
+    void handle_ae_response(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
+    void handle_rv_request(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
+    void handle_rv_response(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
+    /// Observes (without consuming) any in-flight message to i with a term
+    /// above i's; models term piggybacking as its own grain of atomicity
+    /// (§6.2.1).
+    void update_term(const Params&, const State&, Nid i, const Emit<State>&);
+    void check_quorum(const Params&, const State&, Nid i, const Emit<State>&);
+    /// Retiring leader nominates a successor (or retires without one).
+    void propose_vote(const Params&, const State&, Nid i, const Emit<State>&);
+    void handle_propose_vote(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
+    void advance_commit(
+      const Params&, const State&, Nid i, const Emit<State>&);
+    void append_retirement(
+      const Params&, const State&, Nid i, const Emit<State>&);
+
+    // Network module faults.
+    void drop_message(
+      const State&, const SpecMessage& m, const Emit<State>&);
+    void duplicate_message(
+      const Params&, const State&, const SpecMessage& m, const Emit<State>&);
+  }
+
+  /// Assembles the full SpecDef: init, 17 protocol actions + 2 fault
+  /// actions, invariants and action properties.
+  spec::SpecDef<State> build_spec(const Params& params);
+
+  /// The invariants/properties, exposed for reuse (e.g. trace-time
+  /// checking). See invariants.cpp for the inventory.
+  std::vector<spec::Invariant<State>> build_invariants(const Params& params);
+  std::vector<spec::ActionProperty<State>> build_action_properties(
+    const Params& params);
+}

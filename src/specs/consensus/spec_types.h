@@ -1,0 +1,320 @@
+// State space of the consensus specification (§4).
+//
+// This is the C++ rendering of the paper's TLA+ consensus spec: per-node
+// variables (role, currentTerm, votedFor, votesGranted, log, commitIndex,
+// sentIndex, matchIndex, membership) plus one global variable modeling the
+// network as a *multiset* of in-transit messages (§6.2 motivates the
+// multiset so resends are visible). Everything is packed into small integer
+// types: node ids fit in a uint8_t, node sets are bitmasks, and log indices
+// are bounded by the model constraints — the paper's models cap terms,
+// client requests and reconfigurations the same way (§4).
+//
+// The variable inventory matches the paper's "13 variables": 12 local
+// (9 listed here, plus the derived configurations, committable indices and
+// retired-node sets which CCF's spec tracks explicitly but we derive from
+// the log to keep states canonical) and the network.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace scv::specs::ccfraft
+{
+  constexpr size_t kMaxNodes = 7;
+
+  using Nid = uint8_t; // 1-based node id; 0 = none
+  using Bits = uint8_t; // node-set bitmask; bit (n-1) = node n
+
+  constexpr bool has_node(Bits set, Nid n)
+  {
+    return (set & (1u << (n - 1))) != 0;
+  }
+
+  constexpr Bits with_node(Bits set, Nid n)
+  {
+    return static_cast<Bits>(set | (1u << (n - 1)));
+  }
+
+  constexpr Bits without_node(Bits set, Nid n)
+  {
+    return static_cast<Bits>(set & ~(1u << (n - 1)));
+  }
+
+  constexpr int count_nodes(Bits set)
+  {
+    int c = 0;
+    for (Bits b = set; b != 0; b &= static_cast<Bits>(b - 1))
+    {
+      ++c;
+    }
+    return c;
+  }
+
+  /// Majority of `config` is contained in `have`.
+  constexpr bool majority(Bits config, Bits have)
+  {
+    return count_nodes(static_cast<Bits>(config & have)) >=
+      count_nodes(config) / 2 + 1;
+  }
+
+  std::string bits_to_string(Bits set);
+
+  enum class EType : uint8_t
+  {
+    Data,
+    Sig,
+    Reconfig,
+    Retire,
+  };
+
+  struct SpecEntry
+  {
+    uint8_t term = 0;
+    EType type = EType::Data;
+    /// Request id for Data; retiring node for Retire.
+    uint8_t payload = 0;
+    /// Node set for Reconfig entries.
+    Bits config = 0;
+
+    auto operator<=>(const SpecEntry&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(term);
+      sink.u8(static_cast<uint8_t>(type));
+      sink.u8(payload);
+      sink.u8(config);
+    }
+  };
+
+  enum class MType : uint8_t
+  {
+    AeReq,
+    AeResp,
+    RvReq,
+    RvResp,
+    ProposeVote,
+  };
+
+  struct SpecMessage
+  {
+    MType type = MType::AeReq;
+    Nid from = 0;
+    Nid to = 0;
+    uint8_t term = 0;
+    // AeReq fields.
+    uint8_t prev_idx = 0;
+    uint8_t prev_term = 0;
+    uint8_t commit = 0;
+    std::vector<SpecEntry> entries;
+    // AeResp: success + last_idx; RvResp: success = granted.
+    bool success = false;
+    uint8_t last_idx = 0;
+    // RvReq fields.
+    uint8_t last_log_idx = 0;
+    uint8_t last_log_term = 0;
+
+    auto operator<=>(const SpecMessage&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(static_cast<uint8_t>(type));
+      sink.u8(from);
+      sink.u8(to);
+      sink.u8(term);
+      sink.u8(prev_idx);
+      sink.u8(prev_term);
+      sink.u8(commit);
+      sink.u8(static_cast<uint8_t>(entries.size()));
+      for (const auto& e : entries)
+      {
+        e.serialize(sink);
+      }
+      sink.boolean(success);
+      sink.u8(last_idx);
+      sink.u8(last_log_idx);
+      sink.u8(last_log_term);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  enum class SRole : uint8_t
+  {
+    Follower,
+    Candidate,
+    Leader,
+    Retired,
+  };
+
+  enum class SMembership : uint8_t
+  {
+    Active,
+    Ordered, // removal reconfiguration in local log
+    Committed, // removal committed; awaiting retirement commit
+    Completed, // retirement committed; node may switch off
+  };
+
+  struct SpecNode
+  {
+    SRole role = SRole::Follower;
+    uint8_t current_term = 1;
+    Nid voted_for = 0;
+    Bits votes_granted = 0;
+    std::vector<SpecEntry> log;
+    uint8_t commit_index = 0;
+    std::array<uint8_t, kMaxNodes> sent_index{};
+    std::array<uint8_t, kMaxNodes> match_index{};
+    SMembership membership = SMembership::Active;
+
+    auto operator<=>(const SpecNode&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(static_cast<uint8_t>(role));
+      sink.u8(current_term);
+      sink.u8(voted_for);
+      sink.u8(votes_granted);
+      sink.u8(static_cast<uint8_t>(log.size()));
+      for (const auto& e : log)
+      {
+        e.serialize(sink);
+      }
+      sink.u8(commit_index);
+      for (const uint8_t v : sent_index)
+      {
+        sink.u8(v);
+      }
+      for (const uint8_t v : match_index)
+      {
+        sink.u8(v);
+      }
+      sink.u8(static_cast<uint8_t>(membership));
+    }
+
+    // --- log helpers (1-based indices, 0 = none) -------------------------
+
+    [[nodiscard]] uint8_t len() const
+    {
+      return static_cast<uint8_t>(log.size());
+    }
+
+    [[nodiscard]] uint8_t term_at(uint8_t idx) const
+    {
+      return (idx == 0 || idx > log.size()) ? 0 : log[idx - 1].term;
+    }
+
+    [[nodiscard]] const SpecEntry& at(uint8_t idx) const
+    {
+      SCV_CHECK(idx >= 1 && idx <= log.size());
+      return log[idx - 1];
+    }
+
+    [[nodiscard]] uint8_t last_term() const
+    {
+      return term_at(len());
+    }
+
+    [[nodiscard]] uint8_t last_sig_at_or_before(uint8_t idx) const;
+
+    /// Express catch-up estimate; mirrors Ledger::agreement_estimate.
+    [[nodiscard]] uint8_t agreement_estimate(
+      uint8_t bound, uint8_t max_term) const;
+
+    /// Signature indices in (after, len].
+    [[nodiscard]] std::vector<uint8_t> sig_indices_after(uint8_t after) const;
+  };
+
+  /// One configuration discovered in a log.
+  struct SpecConfig
+  {
+    uint8_t idx = 0;
+    Bits nodes = 0;
+  };
+
+  struct State
+  {
+    uint8_t n_nodes = 0;
+    std::array<SpecNode, kMaxNodes> nodes{};
+    /// Multiset of in-transit messages: sorted unique messages with counts.
+    std::vector<std::pair<SpecMessage, uint8_t>> network;
+    /// Next client-request payload id (bounded by the model).
+    uint8_t next_request = 1;
+
+    bool operator==(const State&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(n_nodes);
+      for (uint8_t i = 0; i < n_nodes; ++i)
+      {
+        nodes[i].serialize(sink);
+      }
+      sink.u8(static_cast<uint8_t>(network.size()));
+      for (const auto& [msg, count] : network)
+      {
+        msg.serialize(sink);
+        sink.u8(count);
+      }
+      sink.u8(next_request);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] const SpecNode& node(Nid n) const
+    {
+      SCV_CHECK(n >= 1 && n <= n_nodes);
+      return nodes[n - 1];
+    }
+
+    [[nodiscard]] SpecNode& node(Nid n)
+    {
+      SCV_CHECK(n >= 1 && n <= n_nodes);
+      return nodes[n - 1];
+    }
+
+    // --- network multiset ops ---------------------------------------------
+
+    void add_message(const SpecMessage& msg, uint8_t copies = 1);
+
+    /// Decrements one copy; returns false if absent.
+    bool remove_message(const SpecMessage& msg);
+
+    [[nodiscard]] uint8_t message_count(const SpecMessage& msg) const;
+
+    [[nodiscard]] size_t network_size() const;
+  };
+
+  // --- derived (log-scanned) views ------------------------------------------
+
+  /// All configurations in a log, in order; the bootstrap log guarantees at
+  /// least one.
+  std::vector<SpecConfig> configs_of(const SpecNode& node);
+
+  /// Active configurations given the node's commit index.
+  std::vector<SpecConfig> active_configs(const SpecNode& node);
+
+  /// Union of active-configuration node sets.
+  Bits active_nodes(const SpecNode& node);
+
+  /// The current (highest committed) configuration.
+  SpecConfig current_config(const SpecNode& node);
+
+  /// Nodes whose Retire entry has committed in this node's view.
+  Bits retired_nodes(const SpecNode& node);
+
+  /// Union of every configuration the log has ever contained.
+  Bits known_nodes(const SpecNode& node);
+
+  /// Quorum of each active configuration satisfies `have` (a bitmask).
+  bool quorum_in_each(const SpecNode& node, Bits have);
+
+  /// The bug-1 variant: one majority over the union.
+  bool quorum_in_union(const SpecNode& node, Bits have);
+}

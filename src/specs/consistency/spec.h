@@ -1,0 +1,149 @@
+// Client consistency specification (§5).
+//
+// A deliberately high-level spec of the externally visible behavior of a
+// CCF service: no nodes, no messages — just the HISTORY of client-service
+// interactions (read-write/read-only transaction requests and responses,
+// plus transaction status messages) and LOGBRANCHES, an append-only
+// two-dimensional sequence where branch b is the local log of the leader
+// of term b. A transaction can be executed on *any* branch (any node that
+// believes itself leader), and a new branch can fork from any prefix of an
+// existing branch that still contains the committed prefix — this models
+// leader elections.
+//
+// The modeled application is the paper's: every transaction reads the
+// current value and appends its own identifier, so every transaction
+// conflicts and observes all of its predecessors in execution order.
+//
+// Properties:
+//  * PrevCommittedInv (Listing 4; Property 2 — timestamp ancestry)
+//  * StatusStableInv, CommittedLinearizableInv, ObservedRwInv — hold
+//  * ObservedRoInv — *refutable*: model checking finds the paper's
+//    counterexample where a still-active old leader serves a read-only
+//    transaction that misses a committed read-write transaction (§7
+//    "Non-linearizability of read-only transactions"). It is exposed
+//    separately so callers choose whether to include it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spec/spec.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace scv::specs::consistency
+{
+  using TxId8 = uint8_t; // small tx identifier, 1-based
+  using TxSet = uint16_t; // bitmask of tx ids (bit t-1)
+
+  constexpr bool has_tx(TxSet set, TxId8 t)
+  {
+    return (set & (1u << (t - 1))) != 0;
+  }
+
+  constexpr TxSet with_tx(TxSet set, TxId8 t)
+  {
+    return static_cast<TxSet>(set | (1u << (t - 1)));
+  }
+
+  enum class EvType : uint8_t
+  {
+    RwReq,
+    RwRes,
+    RoReq,
+    RoRes,
+    Status,
+  };
+
+  enum class TxSt : uint8_t
+  {
+    Committed,
+    Invalid,
+  };
+
+  struct Event
+  {
+    EvType type = EvType::RwReq;
+    TxId8 tx = 0;
+    /// Transactions observed by a response, in execution order (as a set;
+    /// order is recoverable from the branch).
+    TxSet observed = 0;
+    /// Transaction id timestamp: term = branch, index = position (for rw)
+    /// or observed branch length (for ro).
+    uint8_t term = 0;
+    uint8_t index = 0;
+    TxSt status = TxSt::Committed;
+
+    auto operator<=>(const Event&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(static_cast<uint8_t>(type));
+      sink.u8(tx);
+      sink.u16(observed);
+      sink.u8(term);
+      sink.u8(index);
+      sink.u8(static_cast<uint8_t>(status));
+    }
+  };
+
+  struct State
+  {
+    std::vector<Event> history;
+    /// branches[b-1] is the log of the leader of term b: tx ids in
+    /// execution order.
+    std::vector<std::vector<TxId8>> branches;
+    /// The committed transaction prefix (execution order).
+    std::vector<TxId8> committed;
+    uint8_t next_tx = 1;
+
+    bool operator==(const State&) const = default;
+
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(static_cast<uint8_t>(history.size()));
+      for (const Event& e : history)
+      {
+        e.serialize(sink);
+      }
+      sink.u8(static_cast<uint8_t>(branches.size()));
+      for (const auto& b : branches)
+      {
+        sink.u8(static_cast<uint8_t>(b.size()));
+        for (const TxId8 t : b)
+        {
+          sink.u8(t);
+        }
+      }
+      sink.u8(static_cast<uint8_t>(committed.size()));
+      for (const TxId8 t : committed)
+      {
+        sink.u8(t);
+      }
+      sink.u8(next_tx);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  struct Params
+  {
+    uint8_t max_rw_txs = 2;
+    uint8_t max_ro_txs = 1;
+    uint8_t max_branches = 3;
+    /// Include the refutable ObservedRoInv (linearizability of read-only
+    /// transactions) among the invariants.
+    bool include_observed_ro = false;
+  };
+
+  State initial_state();
+
+  /// The property the paper refutes: committed read-only transactions
+  /// observe every read-write transaction whose committed response
+  /// returned before the read-only request (Listing 4).
+  bool observed_ro_inv(const State& s);
+
+  spec::SpecDef<State> build_spec(const Params& params);
+}

@@ -1,0 +1,65 @@
+// Binding of implementation traces to the consensus spec (§6.2) — the
+// C++ analogue of the paper's Trace spec (Listing 5).
+//
+// Each trace line becomes a TraceLineExpander over the spec state:
+//  * enablement conditions check the line's recorded node state against
+//    the current spec state (IsEvent + commitIndex[snd] = ln.commit_idx);
+//  * the expander reuses the high-level spec's own action transition
+//    functions, parameterized by trace values;
+//  * assertions on successor states constrain the nondeterminism (e.g.
+//    the network must have gained an AppendEntriesRequest with a matching
+//    number of entries);
+//  * grains of atomicity are aligned by action composition: a higher
+//    message term composes UpdateTerm with the handler (term
+//    piggybacking, §6.2.1), a signature event composes pending
+//    AppendRetirement steps with Sign, and events the spec performs
+//    inside another action (becomeFollower, rollback, advanceCommit on a
+//    follower, retire) validate as finite stuttering with state
+//    assertions.
+//
+// Message loss and duplication are not recorded in traces; like the
+// paper's IsFault · Next, callers can enable fault composition so each
+// line may be preceded by a bounded number of drop/duplicate steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/trace_validator.h"
+#include "specs/consensus/spec.h"
+#include "trace/event.h"
+
+namespace scv::trace
+{
+  /// Spec model parameters suitable for validating a trace of a cluster
+  /// bootstrapped with `initial_config`/`initial_leader`: bounds are
+  /// effectively disabled (trace validation constrains the state space by
+  /// itself) and spec-side bug flags can be injected to validate a trace
+  /// against a deliberately wrong spec.
+  specs::ccfraft::Params validation_params(
+    const std::vector<uint64_t>& initial_config,
+    uint64_t initial_leader,
+    uint8_t n_nodes,
+    consensus::BugFlags spec_bugs = {});
+
+  /// Translates a *preprocessed* trace (no bootstrap events) into per-line
+  /// expanders over the consensus spec state.
+  std::vector<spec::TraceLineExpander<specs::ccfraft::State>>
+  bind_consensus_trace(
+    const std::vector<TraceEvent>& events,
+    const specs::ccfraft::Params& params);
+
+  struct ConsensusValidationOptions
+  {
+    spec::ValidationOptions search;
+    /// Compose drop/duplicate fault steps before each line (for traces
+    /// collected under lossy/duplicating networks).
+    bool fault_composition = false;
+  };
+
+  /// End-to-end convenience: preprocess, bind, validate.
+  spec::ValidationResult<specs::ccfraft::State> validate_consensus_trace(
+    const std::vector<TraceEvent>& raw_events,
+    const specs::ccfraft::Params& params,
+    ConsensusValidationOptions options = {});
+}

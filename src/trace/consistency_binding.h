@@ -1,0 +1,46 @@
+// Binding of client histories to the consistency spec (§6.5).
+//
+// "Later, trace validation was also applied to the consistency spec ...
+// the consistency spec assumed knowledge of the transactions of all
+// clients, whereas a trace is limited to the transactions of a single
+// client. This required introducing logic to reconstruct all transactions
+// based on observed transaction IDs."
+//
+// Each client event becomes a line over the consistency-spec state. The
+// expanders reuse the spec's own actions and compose *reconstruction*
+// steps in front of them: when a response references a log branch that
+// does not exist yet (a leader election this client never saw) or
+// observes transactions this client never submitted (another client's
+// traffic), the binding inserts NewBranch / RwTxRequest / RwTxExecute
+// steps, goal-directed toward the branch content the observed transaction
+// ids imply. Transaction identity is the (term, index) pair — term is the
+// branch, index the position among application transactions — on both
+// sides, so no out-of-band id mapping is needed.
+#pragma once
+
+#include <vector>
+
+#include "driver/client.h"
+#include "spec/trace_validator.h"
+#include "specs/consistency/spec.h"
+
+namespace scv::trace
+{
+  /// Spec parameters for validating a client history: bounds sized to the
+  /// history itself.
+  specs::consistency::Params consistency_validation_params(
+    const std::vector<driver::ClientEvent>& events);
+
+  /// Translates a client history into per-line expanders over the
+  /// consistency-spec state.
+  std::vector<spec::TraceLineExpander<specs::consistency::State>>
+  bind_consistency_trace(
+    const std::vector<driver::ClientEvent>& events,
+    const specs::consistency::Params& params);
+
+  /// End-to-end: bind and validate a client history (T ∩ S ≠ ∅).
+  spec::ValidationResult<specs::consistency::State>
+  validate_consistency_trace(
+    const std::vector<driver::ClientEvent>& events,
+    spec::ValidationOptions options = {});
+}

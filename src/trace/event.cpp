@@ -1,0 +1,187 @@
+#include "trace/event.h"
+
+#include <array>
+#include <cstring>
+
+namespace scv::trace
+{
+  namespace
+  {
+    struct KindName
+    {
+      EventKind kind;
+      const char* name;
+    };
+
+    // Short names follow the paper's log-statement vocabulary (sndAE,
+    // recvAE, ...).
+    constexpr std::array<KindName, 21> kind_names = {{
+      {EventKind::Bootstrap, "bootstrap"},
+      {EventKind::SendAppendEntries, "sndAE"},
+      {EventKind::RecvAppendEntries, "recvAE"},
+      {EventKind::SendAppendEntriesResponse, "sndAER"},
+      {EventKind::RecvAppendEntriesResponse, "recvAER"},
+      {EventKind::SendRequestVote, "sndRV"},
+      {EventKind::RecvRequestVote, "recvRV"},
+      {EventKind::SendRequestVoteResponse, "sndRVR"},
+      {EventKind::RecvRequestVoteResponse, "recvRVR"},
+      {EventKind::SendProposeVote, "sndPV"},
+      {EventKind::RecvProposeVote, "recvPV"},
+      {EventKind::BecomeCandidate, "becomeCandidate"},
+      {EventKind::BecomeLeader, "becomeLeader"},
+      {EventKind::BecomeFollower, "becomeFollower"},
+      {EventKind::ClientRequest, "clientRequest"},
+      {EventKind::EmitSignature, "signature"},
+      {EventKind::AdvanceCommit, "advanceCommit"},
+      {EventKind::ChangeConfiguration, "changeConfig"},
+      {EventKind::CheckQuorumStepDown, "checkQuorum"},
+      {EventKind::Rollback, "rollback"},
+      {EventKind::Retire, "retire"},
+    }};
+  }
+
+  const char* to_string(EventKind kind)
+  {
+    for (const auto& kn : kind_names)
+    {
+      if (kn.kind == kind)
+      {
+        return kn.name;
+      }
+    }
+    return "unknown";
+  }
+
+  std::optional<EventKind> event_kind_from_string(const std::string& s)
+  {
+    for (const auto& kn : kind_names)
+    {
+      if (s == kn.name)
+      {
+        return kn.kind;
+      }
+    }
+    return std::nullopt;
+  }
+
+  json::Value TraceEvent::to_json() const
+  {
+    json::Object o;
+    o.emplace_back("ts", json::Value(ts));
+    o.emplace_back("kind", json::Value(std::string(to_string(kind))));
+    o.emplace_back("node", json::Value(node));
+    o.emplace_back("term", json::Value(term));
+    o.emplace_back("log_len", json::Value(log_len));
+    o.emplace_back("commit_idx", json::Value(commit_idx));
+    if (peer != 0)
+    {
+      o.emplace_back("peer", json::Value(peer));
+    }
+    if (msg_term != 0)
+    {
+      o.emplace_back("msg_term", json::Value(msg_term));
+    }
+    if (prev_idx != 0)
+    {
+      o.emplace_back("prev_idx", json::Value(prev_idx));
+    }
+    if (prev_term != 0)
+    {
+      o.emplace_back("prev_term", json::Value(prev_term));
+    }
+    if (n_entries != 0)
+    {
+      o.emplace_back("n_entries", json::Value(n_entries));
+    }
+    if (last_idx != 0)
+    {
+      o.emplace_back("last_idx", json::Value(last_idx));
+    }
+    if (success)
+    {
+      o.emplace_back("success", json::Value(true));
+    }
+    if (!config.empty())
+    {
+      json::Array a;
+      for (uint64_t n : config)
+      {
+        a.emplace_back(n);
+      }
+      o.emplace_back("config", json::Value(std::move(a)));
+    }
+    return json::Value(std::move(o));
+  }
+
+  std::optional<TraceEvent> TraceEvent::from_json(const json::Value& v)
+  {
+    if (!v.is_object())
+    {
+      return std::nullopt;
+    }
+    const json::Value* kind_field = v.find("kind");
+    if (kind_field == nullptr || !kind_field->is_string())
+    {
+      return std::nullopt;
+    }
+    const auto kind = event_kind_from_string(kind_field->as_string());
+    if (!kind)
+    {
+      return std::nullopt;
+    }
+
+    TraceEvent e;
+    e.kind = *kind;
+    const auto get_u64 = [&v](const char* key, uint64_t& out) {
+      const json::Value* f = v.find(key);
+      if (f != nullptr && f->is_int())
+      {
+        out = static_cast<uint64_t>(f->as_int());
+      }
+    };
+    get_u64("ts", e.ts);
+    get_u64("node", e.node);
+    get_u64("peer", e.peer);
+    get_u64("term", e.term);
+    get_u64("log_len", e.log_len);
+    get_u64("commit_idx", e.commit_idx);
+    get_u64("msg_term", e.msg_term);
+    get_u64("prev_idx", e.prev_idx);
+    get_u64("prev_term", e.prev_term);
+    get_u64("n_entries", e.n_entries);
+    get_u64("last_idx", e.last_idx);
+    const json::Value* success_field = v.find("success");
+    if (success_field != nullptr && success_field->is_bool())
+    {
+      e.success = success_field->as_bool();
+    }
+    const json::Value* config_field = v.find("config");
+    if (config_field != nullptr && config_field->is_array())
+    {
+      for (const auto& item : config_field->as_array())
+      {
+        if (!item.is_int())
+        {
+          return std::nullopt;
+        }
+        e.config.push_back(static_cast<uint64_t>(item.as_int()));
+      }
+    }
+    return e;
+  }
+
+  std::string TraceEvent::to_jsonl() const
+  {
+    return to_json().dump();
+  }
+
+  std::optional<TraceEvent> TraceEvent::from_jsonl(const std::string& line)
+  {
+    const auto v = json::parse(line);
+    if (!v)
+    {
+      return std::nullopt;
+    }
+    return from_json(*v);
+  }
+}

@@ -1,0 +1,87 @@
+// Implementation trace events (§6.1).
+//
+// The scenario driver replaces wall clocks with one global clock and the
+// implementation logs a consistent snapshot of its state at well-defined,
+// side-effect-free linearization points: the sending and receipt of every
+// network message, and every high-level state transition (candidate →
+// leader, commit advance, signature emission, …). Like the paper's driver,
+// events record values that are "constant in space" — log *lengths* and
+// terms, never the entries themselves.
+//
+// Events serialize to JSONL so traces can be written to disk, inspected,
+// and replayed through the trace validator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace scv::trace
+{
+  enum class EventKind : uint8_t
+  {
+    Bootstrap, // initial node/service creation; stripped by preprocessing
+    SendAppendEntries,
+    RecvAppendEntries,
+    SendAppendEntriesResponse,
+    RecvAppendEntriesResponse,
+    SendRequestVote,
+    RecvRequestVote,
+    SendRequestVoteResponse,
+    RecvRequestVoteResponse,
+    SendProposeVote,
+    RecvProposeVote,
+    BecomeCandidate,
+    BecomeLeader,
+    BecomeFollower,
+    ClientRequest,
+    EmitSignature,
+    AdvanceCommit,
+    ChangeConfiguration,
+    CheckQuorumStepDown,
+    Rollback,
+    Retire,
+  };
+
+  const char* to_string(EventKind kind);
+  std::optional<EventKind> event_kind_from_string(const std::string& s);
+
+  /// One trace line. Field use depends on the kind; unused fields keep
+  /// their defaults and are omitted from the JSON encoding.
+  struct TraceEvent
+  {
+    uint64_t ts = 0; // global clock
+    EventKind kind = EventKind::Bootstrap;
+    uint64_t node = 0; // acting node
+    uint64_t peer = 0; // message counterpart, when applicable
+    uint64_t term = 0; // acting node's current term after the step
+    uint64_t log_len = 0; // acting node's log length after the step
+    uint64_t commit_idx = 0; // acting node's commit index after the step
+
+    // Message-specific fields.
+    uint64_t msg_term = 0;
+    uint64_t prev_idx = 0;
+    uint64_t prev_term = 0;
+    uint64_t n_entries = 0;
+    uint64_t last_idx = 0;
+    bool success = false;
+
+    // Configuration-change payload (sorted node ids).
+    std::vector<uint64_t> config;
+
+    [[nodiscard]] json::Value to_json() const;
+    static std::optional<TraceEvent> from_json(const json::Value& v);
+
+    [[nodiscard]] std::string to_jsonl() const;
+    static std::optional<TraceEvent> from_jsonl(const std::string& line);
+
+    bool operator==(const TraceEvent&) const = default;
+  };
+
+  /// Receives events as the implementation executes.
+  using TraceSink = std::function<void(const TraceEvent&)>;
+}

@@ -1,0 +1,32 @@
+#include "trace/preprocess.h"
+
+namespace scv::trace
+{
+  std::vector<TraceEvent> preprocess(
+    const std::vector<TraceEvent>& events, PreprocessStats* stats)
+  {
+    std::vector<TraceEvent> out;
+    out.reserve(events.size());
+    for (const auto& e : events)
+    {
+      if (e.kind == EventKind::Bootstrap)
+      {
+        if (stats != nullptr)
+        {
+          stats->dropped_bootstrap++;
+        }
+        continue;
+      }
+      if (!out.empty() && out.back() == e)
+      {
+        if (stats != nullptr)
+        {
+          stats->dropped_duplicates++;
+        }
+        continue;
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+}

@@ -1,0 +1,25 @@
+// Trace preprocessing (§6.1).
+//
+// "Before validation, implementation traces are preprocessed to exclude and
+// de-duplicate events from the initial bootstrapping phase of a CCF
+// network, as this phase is not modeled in our high-level consensus spec."
+#pragma once
+
+#include <vector>
+
+#include "trace/event.h"
+
+namespace scv::trace
+{
+  struct PreprocessStats
+  {
+    size_t dropped_bootstrap = 0;
+    size_t dropped_duplicates = 0;
+  };
+
+  /// Removes bootstrap events and exact consecutive duplicates (a node can
+  /// log the same bootstrap-phase state more than once). Events are assumed
+  /// already ordered by the global clock; ties keep input order.
+  std::vector<TraceEvent> preprocess(
+    const std::vector<TraceEvent>& events, PreprocessStats* stats = nullptr);
+}

@@ -1,0 +1,70 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace scv::trace
+{
+  std::string to_jsonl(const std::vector<TraceEvent>& events)
+  {
+    std::string out;
+    for (const auto& e : events)
+    {
+      out += e.to_jsonl();
+      out.push_back('\n');
+    }
+    return out;
+  }
+
+  std::optional<std::vector<TraceEvent>> from_jsonl(
+    const std::string& text, size_t* error_line)
+  {
+    std::vector<TraceEvent> out;
+    size_t line_no = 0;
+    for (const std::string& line : split(text, '\n'))
+    {
+      ++line_no;
+      const std::string trimmed = trim(line);
+      if (trimmed.empty())
+      {
+        continue;
+      }
+      auto event = TraceEvent::from_jsonl(trimmed);
+      if (!event)
+      {
+        if (error_line != nullptr)
+        {
+          *error_line = line_no;
+        }
+        return std::nullopt;
+      }
+      out.push_back(std::move(*event));
+    }
+    return out;
+  }
+
+  bool write_file(const std::string& path, const std::vector<TraceEvent>& events)
+  {
+    std::ofstream f(path);
+    if (!f)
+    {
+      return false;
+    }
+    f << to_jsonl(events);
+    return static_cast<bool>(f);
+  }
+
+  std::optional<std::vector<TraceEvent>> read_file(const std::string& path)
+  {
+    std::ifstream f(path);
+    if (!f)
+    {
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    return from_jsonl(buffer.str());
+  }
+}

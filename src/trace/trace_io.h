@@ -1,0 +1,26 @@
+// Reading and writing JSONL traces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace scv::trace
+{
+  /// Serializes a trace, one JSON object per line.
+  std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+  /// Parses a JSONL trace; returns nullopt (with the offending line number
+  /// in *error_line when provided) on malformed input. Blank lines are
+  /// skipped.
+  std::optional<std::vector<TraceEvent>> from_jsonl(
+    const std::string& text, size_t* error_line = nullptr);
+
+  /// Writes a trace to a file; returns false on I/O failure.
+  bool write_file(const std::string& path, const std::vector<TraceEvent>& events);
+
+  /// Reads a trace from a file.
+  std::optional<std::vector<TraceEvent>> read_file(const std::string& path);
+}

@@ -1,0 +1,56 @@
+// Lightweight runtime-check macros used across the library.
+//
+// SCV_CHECK is always on and throws scv::CheckFailure; it is used to guard
+// invariants whose violation indicates a programming error inside the
+// library or a protocol violation in a simulated component.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scv
+{
+  /// Thrown when an SCV_CHECK condition fails.
+  class CheckFailure : public std::logic_error
+  {
+  public:
+    explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+  };
+
+  namespace detail
+  {
+    [[noreturn]] inline void check_failed(
+      const char* expr, const char* file, int line, const std::string& msg)
+    {
+      std::ostringstream os;
+      os << "check failed: " << expr << " at " << file << ":" << line;
+      if (!msg.empty())
+      {
+        os << " (" << msg << ")";
+      }
+      throw CheckFailure(os.str());
+    }
+  }
+}
+
+#define SCV_CHECK(cond) \
+  do \
+  { \
+    if (!(cond)) \
+    { \
+      ::scv::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+    } \
+  } while (false)
+
+#define SCV_CHECK_MSG(cond, msg) \
+  do \
+  { \
+    if (!(cond)) \
+    { \
+      std::ostringstream scv_check_os_; \
+      scv_check_os_ << msg; \
+      ::scv::detail::check_failed( \
+        #cond, __FILE__, __LINE__, scv_check_os_.str()); \
+    } \
+  } while (false)

@@ -1,0 +1,103 @@
+// Non-cryptographic hashing and byte-serialization helpers.
+//
+// The model checker fingerprints states by serializing them into a byte
+// buffer (ByteSink) and hashing with FNV-1a. Serialization must be
+// canonical: equal states produce equal byte sequences.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scv
+{
+  inline constexpr uint64_t fnv1a_init = 0xcbf29ce484222325ULL;
+  inline constexpr uint64_t fnv1a_prime = 0x100000001b3ULL;
+
+  constexpr uint64_t fnv1a(
+    const uint8_t* data, size_t size, uint64_t seed = fnv1a_init)
+  {
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i)
+    {
+      h ^= data[i];
+      h *= fnv1a_prime;
+    }
+    return h;
+  }
+
+  inline uint64_t fnv1a(std::string_view s, uint64_t seed = fnv1a_init)
+  {
+    return fnv1a(reinterpret_cast<const uint8_t*>(s.data()), s.size(), seed);
+  }
+
+  /// boost-style hash combiner.
+  constexpr uint64_t hash_combine(uint64_t seed, uint64_t value)
+  {
+    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+  }
+
+  /// Accumulates a canonical byte encoding of a value for fingerprinting.
+  class ByteSink
+  {
+  public:
+    void u8(uint8_t v)
+    {
+      bytes_.push_back(v);
+    }
+
+    void u16(uint16_t v)
+    {
+      u8(static_cast<uint8_t>(v));
+      u8(static_cast<uint8_t>(v >> 8));
+    }
+
+    void u32(uint32_t v)
+    {
+      u16(static_cast<uint16_t>(v));
+      u16(static_cast<uint16_t>(v >> 16));
+    }
+
+    void u64(uint64_t v)
+    {
+      u32(static_cast<uint32_t>(v));
+      u32(static_cast<uint32_t>(v >> 32));
+    }
+
+    void boolean(bool v)
+    {
+      u8(v ? 1 : 0);
+    }
+
+    void str(std::string_view s)
+    {
+      u64(s.size());
+      bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    void raw(const uint8_t* data, size_t size)
+    {
+      bytes_.insert(bytes_.end(), data, data + size);
+    }
+
+    [[nodiscard]] uint64_t digest() const
+    {
+      return fnv1a(bytes_.data(), bytes_.size());
+    }
+
+    [[nodiscard]] const std::vector<uint8_t>& bytes() const
+    {
+      return bytes_;
+    }
+
+    void clear()
+    {
+      bytes_.clear();
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+  };
+}

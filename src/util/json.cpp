@@ -1,0 +1,530 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace scv::json
+{
+  const Value* Value::find(const std::string& key) const
+  {
+    if (!is_object())
+    {
+      return nullptr;
+    }
+    for (const auto& [k, v] : as_object())
+    {
+      if (k == key)
+      {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+
+  const Value& Value::at(const std::string& key) const
+  {
+    const Value* v = find(key);
+    SCV_CHECK_MSG(v != nullptr, "missing json key: " << key);
+    return *v;
+  }
+
+  void Value::set(const std::string& key, Value v)
+  {
+    SCV_CHECK(is_object());
+    for (auto& [k, existing] : as_object())
+    {
+      if (k == key)
+      {
+        existing = std::move(v);
+        return;
+      }
+    }
+    as_object().emplace_back(key, std::move(v));
+  }
+
+  bool Value::operator==(const Value& other) const
+  {
+    return data_ == other.data_;
+  }
+
+  std::string escape_string(const std::string& s)
+  {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s)
+    {
+      switch (c)
+      {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20)
+          {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          }
+          else
+          {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  namespace
+  {
+    void dump_to(const Value& v, std::string& out);
+
+    void dump_array(const Array& a, std::string& out)
+    {
+      out.push_back('[');
+      for (size_t i = 0; i < a.size(); ++i)
+      {
+        if (i > 0)
+        {
+          out.push_back(',');
+        }
+        dump_to(a[i], out);
+      }
+      out.push_back(']');
+    }
+
+    void dump_object(const Object& o, std::string& out)
+    {
+      out.push_back('{');
+      for (size_t i = 0; i < o.size(); ++i)
+      {
+        if (i > 0)
+        {
+          out.push_back(',');
+        }
+        out += escape_string(o[i].first);
+        out.push_back(':');
+        dump_to(o[i].second, out);
+      }
+      out.push_back('}');
+    }
+
+    void dump_to(const Value& v, std::string& out)
+    {
+      if (v.is_null())
+      {
+        out += "null";
+      }
+      else if (v.is_bool())
+      {
+        out += v.as_bool() ? "true" : "false";
+      }
+      else if (v.is_int())
+      {
+        out += std::to_string(v.as_int());
+      }
+      else if (v.is_double())
+      {
+        std::ostringstream os;
+        os.precision(17);
+        os << v.as_double();
+        out += os.str();
+      }
+      else if (v.is_string())
+      {
+        out += escape_string(v.as_string());
+      }
+      else if (v.is_array())
+      {
+        dump_array(v.as_array(), out);
+      }
+      else
+      {
+        dump_object(v.as_object(), out);
+      }
+    }
+
+    class Parser
+    {
+    public:
+      explicit Parser(std::string_view text) : text_(text) {}
+
+      std::optional<Value> run()
+      {
+        skip_ws();
+        auto v = parse_value();
+        if (!v)
+        {
+          return std::nullopt;
+        }
+        skip_ws();
+        if (pos_ != text_.size())
+        {
+          return std::nullopt;
+        }
+        return v;
+      }
+
+    private:
+      void skip_ws()
+      {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+        {
+          ++pos_;
+        }
+      }
+
+      bool eat(char c)
+      {
+        if (pos_ < text_.size() && text_[pos_] == c)
+        {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+
+      bool literal(std::string_view lit)
+      {
+        if (text_.substr(pos_, lit.size()) == lit)
+        {
+          pos_ += lit.size();
+          return true;
+        }
+        return false;
+      }
+
+      std::optional<Value> parse_value()
+      {
+        if (pos_ >= text_.size())
+        {
+          return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+        {
+          return parse_object();
+        }
+        if (c == '[')
+        {
+          return parse_array();
+        }
+        if (c == '"')
+        {
+          auto s = parse_string();
+          if (!s)
+          {
+            return std::nullopt;
+          }
+          return Value(std::move(*s));
+        }
+        if (literal("true"))
+        {
+          return Value(true);
+        }
+        if (literal("false"))
+        {
+          return Value(false);
+        }
+        if (literal("null"))
+        {
+          return Value(nullptr);
+        }
+        return parse_number();
+      }
+
+      std::optional<Value> parse_number()
+      {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+        {
+          ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        {
+          ++pos_;
+        }
+        bool is_double = false;
+        if (pos_ < text_.size() && text_[pos_] == '.')
+        {
+          is_double = true;
+          ++pos_;
+          while (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_])))
+          {
+            ++pos_;
+          }
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E'))
+        {
+          is_double = true;
+          ++pos_;
+          if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+          {
+            ++pos_;
+          }
+          while (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_])))
+          {
+            ++pos_;
+          }
+        }
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+        {
+          return std::nullopt;
+        }
+        if (is_double)
+        {
+          double d{};
+          auto [ptr, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), d);
+          if (ec != std::errc() || ptr != tok.data() + tok.size())
+          {
+            return std::nullopt;
+          }
+          return Value(d);
+        }
+        int64_t i{};
+        auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (ec != std::errc() || ptr != tok.data() + tok.size())
+        {
+          return std::nullopt;
+        }
+        return Value(i);
+      }
+
+      std::optional<std::string> parse_string()
+      {
+        if (!eat('"'))
+        {
+          return std::nullopt;
+        }
+        std::string out;
+        while (pos_ < text_.size())
+        {
+          char c = text_[pos_++];
+          if (c == '"')
+          {
+            return out;
+          }
+          if (c == '\\')
+          {
+            if (pos_ >= text_.size())
+            {
+              return std::nullopt;
+            }
+            const char esc = text_[pos_++];
+            switch (esc)
+            {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'u':
+              {
+                if (pos_ + 4 > text_.size())
+                {
+                  return std::nullopt;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i)
+                {
+                  const char h = text_[pos_++];
+                  code <<= 4;
+                  if (h >= '0' && h <= '9')
+                  {
+                    code |= static_cast<unsigned>(h - '0');
+                  }
+                  else if (h >= 'a' && h <= 'f')
+                  {
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                  }
+                  else if (h >= 'A' && h <= 'F')
+                  {
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                  }
+                  else
+                  {
+                    return std::nullopt;
+                  }
+                }
+                // Encode as UTF-8 (basic multilingual plane only; traces are
+                // ASCII in practice).
+                if (code < 0x80)
+                {
+                  out.push_back(static_cast<char>(code));
+                }
+                else if (code < 0x800)
+                {
+                  out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                  out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                else
+                {
+                  out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                  out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                  out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return std::nullopt;
+            }
+          }
+          else
+          {
+            out.push_back(c);
+          }
+        }
+        return std::nullopt;
+      }
+
+      std::optional<Value> parse_array()
+      {
+        if (!eat('['))
+        {
+          return std::nullopt;
+        }
+        Array out;
+        skip_ws();
+        if (eat(']'))
+        {
+          return Value(std::move(out));
+        }
+        for (;;)
+        {
+          skip_ws();
+          auto v = parse_value();
+          if (!v)
+          {
+            return std::nullopt;
+          }
+          out.push_back(std::move(*v));
+          skip_ws();
+          if (eat(']'))
+          {
+            return Value(std::move(out));
+          }
+          if (!eat(','))
+          {
+            return std::nullopt;
+          }
+        }
+      }
+
+      std::optional<Value> parse_object()
+      {
+        if (!eat('{'))
+        {
+          return std::nullopt;
+        }
+        Object out;
+        skip_ws();
+        if (eat('}'))
+        {
+          return Value(std::move(out));
+        }
+        for (;;)
+        {
+          skip_ws();
+          auto key = parse_string();
+          if (!key)
+          {
+            return std::nullopt;
+          }
+          skip_ws();
+          if (!eat(':'))
+          {
+            return std::nullopt;
+          }
+          skip_ws();
+          auto v = parse_value();
+          if (!v)
+          {
+            return std::nullopt;
+          }
+          out.emplace_back(std::move(*key), std::move(*v));
+          skip_ws();
+          if (eat('}'))
+          {
+            return Value(std::move(out));
+          }
+          if (!eat(','))
+          {
+            return std::nullopt;
+          }
+        }
+      }
+
+      std::string_view text_;
+      size_t pos_ = 0;
+    };
+  }
+
+  std::string Value::dump() const
+  {
+    std::string out;
+    dump_to(*this, out);
+    return out;
+  }
+
+  std::optional<Value> parse(std::string_view text)
+  {
+    return Parser(text).run();
+  }
+
+  Value object(std::initializer_list<std::pair<std::string, Value>> fields)
+  {
+    Object o;
+    o.reserve(fields.size());
+    for (const auto& f : fields)
+    {
+      o.push_back(f);
+    }
+    return Value(std::move(o));
+  }
+}

@@ -1,0 +1,151 @@
+// A small self-contained JSON value type with serializer and parser.
+//
+// Used for the JSONL trace format produced by the scenario driver and
+// consumed by the trace validator (§6 of the paper). Supports the JSON
+// subset the traces need: null, bool, integers (int64), doubles, strings,
+// arrays, objects. Object key order is preserved on parse and emit so that
+// traces round-trip byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/check.h"
+
+namespace scv::json
+{
+  class Value;
+
+  using Array = std::vector<Value>;
+  /// Key-order-preserving object representation.
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  class Value
+  {
+  public:
+    Value() : data_(nullptr) {}
+    Value(std::nullptr_t) : data_(nullptr) {}
+    Value(bool b) : data_(b) {}
+    Value(int v) : data_(static_cast<int64_t>(v)) {}
+    Value(unsigned v) : data_(static_cast<int64_t>(v)) {}
+    Value(int64_t v) : data_(v) {}
+    Value(uint64_t v) : data_(static_cast<int64_t>(v)) {}
+    Value(double v) : data_(v) {}
+    Value(const char* s) : data_(std::string(s)) {}
+    Value(std::string s) : data_(std::move(s)) {}
+    Value(Array a) : data_(std::move(a)) {}
+    Value(Object o) : data_(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const
+    {
+      return std::holds_alternative<std::nullptr_t>(data_);
+    }
+    [[nodiscard]] bool is_bool() const
+    {
+      return std::holds_alternative<bool>(data_);
+    }
+    [[nodiscard]] bool is_int() const
+    {
+      return std::holds_alternative<int64_t>(data_);
+    }
+    [[nodiscard]] bool is_double() const
+    {
+      return std::holds_alternative<double>(data_);
+    }
+    [[nodiscard]] bool is_string() const
+    {
+      return std::holds_alternative<std::string>(data_);
+    }
+    [[nodiscard]] bool is_array() const
+    {
+      return std::holds_alternative<Array>(data_);
+    }
+    [[nodiscard]] bool is_object() const
+    {
+      return std::holds_alternative<Object>(data_);
+    }
+
+    [[nodiscard]] bool as_bool() const
+    {
+      SCV_CHECK(is_bool());
+      return std::get<bool>(data_);
+    }
+    [[nodiscard]] int64_t as_int() const
+    {
+      SCV_CHECK(is_int());
+      return std::get<int64_t>(data_);
+    }
+    [[nodiscard]] double as_double() const
+    {
+      if (is_int())
+      {
+        return static_cast<double>(as_int());
+      }
+      SCV_CHECK(is_double());
+      return std::get<double>(data_);
+    }
+    [[nodiscard]] const std::string& as_string() const
+    {
+      SCV_CHECK(is_string());
+      return std::get<std::string>(data_);
+    }
+    [[nodiscard]] const Array& as_array() const
+    {
+      SCV_CHECK(is_array());
+      return std::get<Array>(data_);
+    }
+    [[nodiscard]] Array& as_array()
+    {
+      SCV_CHECK(is_array());
+      return std::get<Array>(data_);
+    }
+    [[nodiscard]] const Object& as_object() const
+    {
+      SCV_CHECK(is_object());
+      return std::get<Object>(data_);
+    }
+    [[nodiscard]] Object& as_object()
+    {
+      SCV_CHECK(is_object());
+      return std::get<Object>(data_);
+    }
+
+    /// Object field lookup; returns nullptr when missing or not an object.
+    [[nodiscard]] const Value* find(const std::string& key) const;
+
+    /// Object field lookup that must succeed.
+    [[nodiscard]] const Value& at(const std::string& key) const;
+
+    /// Inserts or overwrites an object field (value must be an object).
+    void set(const std::string& key, Value v);
+
+    [[nodiscard]] bool operator==(const Value& other) const;
+
+    [[nodiscard]] std::string dump() const;
+
+  private:
+    std::variant<
+      std::nullptr_t,
+      bool,
+      int64_t,
+      double,
+      std::string,
+      Array,
+      Object>
+      data_;
+  };
+
+  /// Parses a single JSON document. Returns nullopt on malformed input.
+  std::optional<Value> parse(std::string_view text);
+
+  /// Convenience: build an object from an initializer list.
+  Value object(std::initializer_list<std::pair<std::string, Value>> fields);
+
+  std::string escape_string(const std::string& s);
+}

@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (simulated network, scenario
+// schedulers, the spec simulator) take an explicit Rng so that every run is
+// reproducible from a single 64-bit seed. The generator is xoshiro256**,
+// seeded via splitmix64, both implemented here so the library has no
+// dependency on platform RNG behavior.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace scv
+{
+  /// splitmix64 step; used for seeding and as a cheap standalone mixer.
+  constexpr uint64_t splitmix64(uint64_t& state)
+  {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// xoshiro256** deterministic generator.
+  class Rng
+  {
+  public:
+    explicit Rng(uint64_t seed)
+    {
+      uint64_t sm = seed;
+      for (auto& word : state_)
+      {
+        word = splitmix64(sm);
+      }
+    }
+
+    uint64_t next()
+    {
+      const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+      const uint64_t t = state_[1] << 17;
+      state_[2] ^= state_[0];
+      state_[3] ^= state_[1];
+      state_[1] ^= state_[2];
+      state_[0] ^= state_[3];
+      state_[2] ^= t;
+      state_[3] = rotl(state_[3], 45);
+      return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be positive.
+    uint64_t below(uint64_t bound)
+    {
+      SCV_CHECK(bound > 0);
+      // Rejection sampling to avoid modulo bias.
+      const uint64_t threshold = (0 - bound) % bound;
+      for (;;)
+      {
+        const uint64_t r = next();
+        if (r >= threshold)
+        {
+          return r % bound;
+        }
+      }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    uint64_t between(uint64_t lo, uint64_t hi)
+    {
+      SCV_CHECK(lo <= hi);
+      return lo + below(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double unit()
+    {
+      return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial.
+    bool chance(double p)
+    {
+      return unit() < p;
+    }
+
+    /// Picks an index in [0, weights.size()) proportionally to weights.
+    /// Zero-weight entries are never picked; at least one weight must be
+    /// positive.
+    size_t weighted_pick(const std::vector<double>& weights)
+    {
+      double total = 0;
+      for (double w : weights)
+      {
+        SCV_CHECK(w >= 0);
+        total += w;
+      }
+      SCV_CHECK(total > 0);
+      double x = unit() * total;
+      for (size_t i = 0; i < weights.size(); ++i)
+      {
+        x -= weights[i];
+        if (x < 0)
+        {
+          return i;
+        }
+      }
+      // Floating point edge: return last positive-weight index.
+      for (size_t i = weights.size(); i-- > 0;)
+      {
+        if (weights[i] > 0)
+        {
+          return i;
+        }
+      }
+      SCV_CHECK(false);
+      return 0;
+    }
+
+    template <class T>
+    void shuffle(std::vector<T>& items)
+    {
+      for (size_t i = items.size(); i > 1; --i)
+      {
+        std::swap(items[i - 1], items[below(i)]);
+      }
+    }
+
+  private:
+    static constexpr uint64_t rotl(uint64_t x, int k)
+    {
+      return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<uint64_t, 4> state_{};
+  };
+}

@@ -1,0 +1,18 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scv
+{
+  std::vector<std::string> split(std::string_view s, char sep);
+
+  std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+  bool starts_with(std::string_view s, std::string_view prefix);
+
+  /// Strips ASCII whitespace from both ends.
+  std::string trim(std::string_view s);
+}

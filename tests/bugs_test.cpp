@@ -1,0 +1,626 @@
+// Table 2: the six historical consensus bugs, re-injected via BugFlags and
+// demonstrated at the implementation level. Every test shows (a) the buggy
+// build violating the safety/liveness property and (b) the fixed build —
+// identical scenario, flags off — staying correct. The spec-side
+// demonstrations (model checking and simulation catching the same bugs)
+// live in consensus_spec_test.cpp; together they reproduce the paper's
+// "each tool in our verification wardrobe" narrative (§7).
+#include <gtest/gtest.h>
+
+#include "consensus/raft_node.h"
+#include "driver/cluster.h"
+#include "driver/invariants.h"
+
+using namespace scv;
+using namespace scv::consensus;
+using namespace scv::driver;
+
+namespace
+{
+  NodeConfig cfg(NodeId id, BugFlags bugs = {})
+  {
+    NodeConfig c;
+    c.id = id;
+    c.rng_seed = 7;
+    c.bugs = bugs;
+    return c;
+  }
+
+  Entry data_entry(Term term, const std::string& payload)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Data;
+    e.data = payload;
+    return e;
+  }
+
+  Entry sig_entry(Term term)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Signature;
+    return e;
+  }
+
+  /// Builds a node that currently leads term 3 over {1..5} with the log
+  /// [config, sig, data@1, sig@1, sig@3]: a term-1 suffix it did not
+  /// append in its own term, plus its freshly emitted term-3 signature.
+  std::unique_ptr<RaftNode> leader_with_old_term_suffix(BugFlags bugs)
+  {
+    auto n = std::make_unique<RaftNode>(cfg(1, bugs), std::vector<NodeId>{1, 2, 3, 4, 5}, 2);
+    // Receive the term-1 suffix from the bootstrap leader (node 2).
+    n->receive(
+      2,
+      AppendEntriesRequest{1, 2, 2, 1, 2, {data_entry(1, "d1"), sig_entry(1)}});
+    (void)n->take_outbox();
+    // Campaign into term 3 (two timeouts) and win.
+    n->force_timeout();
+    n->force_timeout();
+    EXPECT_EQ(n->current_term(), 3u);
+    n->receive(3, RequestVoteResponse{3, 3, true});
+    n->receive(4, RequestVoteResponse{3, 4, true});
+    EXPECT_EQ(n->role(), Role::Leader);
+    EXPECT_EQ(n->last_index(), 5u); // term-3 signature auto-appended
+    (void)n->take_outbox();
+    return n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bug 1 — Incorrect election quorum tally (safety).
+// Quorum tallied against the union of active configurations instead of each
+// one: during a reconfiguration, a candidate can win without a majority of
+// the current configuration, electing two leaders in one term and
+// committing divergent logs.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  /// {1,2,3} with leader 1; nodes 4 and 5 standing by. Leader 1 proposes
+  /// {1,4,5} + signature but the AEs are all dropped; then the cluster
+  /// partitions into {1,4,5} | {2,3} and both sides elect in term 2.
+  void run_quorum_tally_scenario(BugFlags bugs, Cluster& c)
+  {
+    c.node(1).propose_reconfiguration({1, 4, 5});
+    c.node(1).emit_signature();
+    // The reconfiguration never leaves node 1.
+    for (const NodeId to : {2, 3, 4, 5})
+    {
+      c.network().drop_link(1, to);
+      (void)c.node(1).take_outbox();
+    }
+    c.partition({1, 4, 5}, {2, 3});
+
+    // Majority side: node 2 campaigns and wins legitimately.
+    c.node(2).force_timeout();
+    c.tick(2);
+    c.deliver_on_link(2, 3); // RV to 3
+    c.deliver_on_link(3, 2); // grant
+    EXPECT_EQ(c.node(2).role(), Role::Leader);
+    EXPECT_EQ(c.node(2).current_term(), 2u);
+
+    // Reconfiguring side: node 1 campaigns in the same term with votes
+    // from the pending configuration only.
+    c.node(1).force_timeout();
+    EXPECT_EQ(c.node(1).current_term(), 2u);
+    c.tick(1);
+    c.deliver_on_link(1, 4);
+    c.deliver_on_link(1, 5);
+    c.deliver_on_link(4, 1);
+    c.deliver_on_link(5, 1);
+    (void)bugs;
+  }
+}
+
+TEST(Bug1QuorumTally, BuggyElectsSecondLeaderInSameTerm)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 31;
+  o.node_template.bugs.quorum_union_tally = true;
+  Cluster c(o);
+  c.add_node(4);
+  c.add_node(5);
+  InvariantChecker inv(c);
+  run_quorum_tally_scenario(o.node_template.bugs, c);
+
+  // Union tally: {1,4,5} is 3 of the 5-node union — elected.
+  EXPECT_EQ(c.node(1).role(), Role::Leader);
+  const auto violations = inv.check();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("ElectionSafety"), std::string::npos);
+}
+
+TEST(Bug1QuorumTally, FixedRejectsElectionWithoutJointQuorum)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 31;
+  Cluster c(o);
+  c.add_node(4);
+  c.add_node(5);
+  InvariantChecker inv(c);
+  run_quorum_tally_scenario(o.node_template.bugs, c);
+
+  // Joint rule: node 1 lacks a majority of the current config {1,2,3}.
+  EXPECT_EQ(c.node(1).role(), Role::Candidate);
+  EXPECT_TRUE(inv.check().empty());
+}
+
+TEST(Bug1QuorumTally, BuggyLeadersCommitDivergentLogs)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 33;
+  o.node_template.bugs.quorum_union_tally = true;
+  Cluster c(o);
+  c.add_node(4);
+  c.add_node(5);
+  InvariantChecker inv(c);
+  run_quorum_tally_scenario(o.node_template.bugs, c);
+  ASSERT_EQ(c.node(1).role(), Role::Leader);
+  ASSERT_EQ(c.node(2).role(), Role::Leader);
+
+  // Each leader commits its own term-2 data on its side of the partition.
+  c.node(2).client_request("B-side");
+  c.node(2).emit_signature();
+  c.node(1).client_request("A-side");
+  c.node(1).emit_signature();
+  bool diverged = false;
+  for (int i = 0; i < 120 && !diverged; ++i)
+  {
+    c.tick_all();
+    c.drain();
+    for (const auto& v : inv.check())
+    {
+      diverged = diverged || v.find("LogInv") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+// ---------------------------------------------------------------------------
+// Bug 2 — Commit advance for previous term (safety).
+// The implementation omitted Raft §5.4.2: a leader advanced commit on a
+// bare quorum of ACKs even when the entry was from an earlier term.
+// ---------------------------------------------------------------------------
+
+TEST(Bug2CommitPrevTerm, BuggyCommitsOldTermSignature)
+{
+  BugFlags bugs;
+  bugs.commit_prev_term = true;
+  auto n = leader_with_old_term_suffix(bugs);
+  // ACKs reach only the old-term signature at index 4 — not the leader's
+  // own term-3 signature at 5.
+  n->receive(2, AppendEntriesResponse{3, 2, true, 4});
+  n->receive(3, AppendEntriesResponse{3, 3, true, 4});
+  // Unsafe: index 4 was appended in term 1, not term 3 ([74, Fig. 8]).
+  EXPECT_EQ(n->commit_index(), 4u);
+}
+
+TEST(Bug2CommitPrevTerm, FixedWaitsForCurrentTermSignature)
+{
+  auto n = leader_with_old_term_suffix({});
+  n->receive(2, AppendEntriesResponse{3, 2, true, 4});
+  n->receive(3, AppendEntriesResponse{3, 3, true, 4});
+  EXPECT_EQ(n->commit_index(), 2u); // §5.4.2 guard holds it back
+
+  // Once the quorum confirms the term-3 signature, everything commits.
+  n->receive(2, AppendEntriesResponse{3, 2, true, 5});
+  n->receive(3, AppendEntriesResponse{3, 3, true, 5});
+  EXPECT_EQ(n->commit_index(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// The incorrect first fix for bug 2 — clearing committable indices on
+// election instead of rolling back (Table 2, #5674). Breaks the implicit
+// invariant that the committable set contains all signatures, and lets a
+// new leader keep an unsigned old-term suffix, violating MonoLogInv.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  /// Leader 1 replicates an uncommitted data+signature suffix to node 2
+  /// only; node 2 then campaigns and wins with node 3's vote. The new
+  /// leader holds an uncommitted old-term signature at election time —
+  /// the case where the bad fix empties the committable set.
+  void elect_node2_with_old_signature(Cluster& c)
+  {
+    c.node(1).client_request("d");
+    c.node(1).emit_signature();
+    c.tick(1);
+    c.deliver_on_link(1, 2); // AE with the data entry
+    c.deliver_on_link(1, 2); // AE with the signature
+    ASSERT_EQ(c.node(2).last_index(), 4u);
+    c.network().clear();
+    c.node(2).force_timeout();
+    c.tick(2);
+    c.deliver_on_link(2, 3);
+    c.deliver_on_link(3, 2);
+    ASSERT_EQ(c.node(2).role(), Role::Leader);
+  }
+}
+
+TEST(Bug2BadFix, ClearsCommittableBreakingItsInvariant)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 35;
+  o.node_template.bugs.clear_committable_on_election = true;
+  Cluster c(o);
+  InvariantChecker inv(c);
+  elect_node2_with_old_signature(c);
+
+  // The old-term signature at index 4 sits above the commit index but was
+  // wiped from the committable set: the implicit invariant the paper says
+  // the first fix broke.
+  EXPECT_FALSE(c.node(2).committable_indices().contains(4));
+  bool violated = false;
+  for (const auto& v : inv.check())
+  {
+    violated = violated || v.find("CommittableSigs") != std::string::npos;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(Bug2BadFix, ProperFixKeepsSignedSuffixCommittable)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 35;
+  Cluster c(o);
+  InvariantChecker inv(c);
+  elect_node2_with_old_signature(c);
+
+  // The signed suffix survives candidacy (only unsigned suffixes roll
+  // back) and the signature stays committable.
+  EXPECT_TRUE(c.node(2).committable_indices().contains(4));
+  EXPECT_TRUE(inv.check().empty());
+  // And the system commits everything once the new term's signature
+  // replicates.
+  for (int i = 0; i < 120; ++i)
+  {
+    c.tick_all();
+    c.drain();
+    ASSERT_TRUE(inv.check().empty());
+  }
+  EXPECT_GE(c.node(2).commit_index(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug 3 — Commit advance on AE-NACK (safety).
+// Response-handling code reuse let a NACK's agreement estimate overwrite
+// match_index, so the leader could advance commit on a NACK.
+// ---------------------------------------------------------------------------
+
+TEST(Bug3NackCommit, BuggyAdvancesCommitOnNack)
+{
+  BugFlags bugs;
+  bugs.nack_overwrites_match_index = true;
+  auto n = leader_with_old_term_suffix(bugs);
+  ASSERT_EQ(n->commit_index(), 2u);
+  // Two NACKs whose stale estimates claim agreement at index 5.
+  n->receive(2, AppendEntriesResponse{3, 2, false, 5});
+  n->receive(3, AppendEntriesResponse{3, 3, false, 5});
+  // The followers never acknowledged anything, yet commit advanced.
+  EXPECT_EQ(n->commit_index(), 5u);
+}
+
+TEST(Bug3NackCommit, FixedIgnoresNackForMatchIndex)
+{
+  auto n = leader_with_old_term_suffix({});
+  n->receive(2, AppendEntriesResponse{3, 2, false, 5});
+  n->receive(3, AppendEntriesResponse{3, 3, false, 5});
+  EXPECT_EQ(n->commit_index(), 2u);
+  EXPECT_EQ(n->match_index(2), 0u);
+  EXPECT_EQ(n->match_index(3), 0u);
+}
+
+TEST(Bug3NackCommit, BuggyMatchIndexCanDecrease)
+{
+  // The paper also notes [74, Fig. 2] implies matchIndex never decreases
+  // within a term; the bug breaks exactly that.
+  BugFlags bugs;
+  bugs.nack_overwrites_match_index = true;
+  auto n = leader_with_old_term_suffix(bugs);
+  n->receive(2, AppendEntriesResponse{3, 2, true, 5});
+  EXPECT_EQ(n->match_index(2), 5u);
+  n->receive(2, AppendEntriesResponse{3, 2, false, 1}); // stale NACK
+  EXPECT_EQ(n->match_index(2), 1u); // decreased!
+}
+
+// ---------------------------------------------------------------------------
+// Bug 4 — Truncation from early AE (safety).
+// A follower receiving an AE in a new term whose window starts before the
+// end of its log rolled back optimistically — even across committed
+// entries — instead of checking for a true conflict.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  /// Follower 2 with committed log [config, sig, d1@1, sig@1] (commit 4),
+  /// then an early heartbeat from a new term-2 leader whose window starts
+  /// at index 2 — compatible, so nothing should be lost.
+  std::unique_ptr<RaftNode> follower_with_early_ae(BugFlags bugs)
+  {
+    auto n = std::make_unique<RaftNode>(
+      cfg(2, bugs), std::vector<NodeId>{1, 2, 3}, 1);
+    n->receive(
+      1,
+      AppendEntriesRequest{1, 1, 2, 1, 4, {data_entry(1, "d1"), sig_entry(1)}});
+    (void)n->take_outbox();
+    EXPECT_EQ(n->commit_index(), 4u);
+    // Stale-NACK-induced early AE from the new leader (§7): starts before
+    // the end of the follower's log, in a newer term, no conflict.
+    n->receive(3, AppendEntriesRequest{2, 3, 2, 1, 4, {}});
+    return n;
+  }
+}
+
+TEST(Bug4EarlyTruncate, BuggyRollsBackCommittedEntries)
+{
+  BugFlags bugs;
+  bugs.truncate_on_early_ae = true;
+  auto n = follower_with_early_ae(bugs);
+  EXPECT_EQ(n->last_index(), 2u); // committed entries 3,4 destroyed
+  EXPECT_EQ(n->commit_index(), 2u); // commit regressed
+}
+
+TEST(Bug4EarlyTruncate, FixedKeepsCompatibleSuffix)
+{
+  auto n = follower_with_early_ae({});
+  EXPECT_EQ(n->last_index(), 4u);
+  EXPECT_EQ(n->commit_index(), 4u);
+}
+
+TEST(Bug4EarlyTruncate, DriverDetectsCommitRegression)
+{
+  // A stale NACK makes the leader answer with an AE starting before the
+  // end of the follower's log; the buggy follower rolls back its committed
+  // suffix. Staged exactly: commit entries 3..6 everywhere, then replay a
+  // stale NACK estimate to the leader.
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 37;
+  o.node_template.bugs.truncate_on_early_ae = true;
+  o.node_template.max_entries_per_ae = 2;
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.submit("a");
+  c.submit("b");
+  c.sign();
+  for (int i = 0; i < 80; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  ASSERT_GE(c.node(2).commit_index(), 5u);
+  EXPECT_TRUE(inv.check().empty());
+
+  // Stale NACK (an estimate from before the catch-up) reaches the leader:
+  // it rewinds sent_index and sends an early AE to the fully caught-up
+  // follower 2. Deliver it alone — the window covers (2,4] while entries
+  // up to 5 are committed — and check invariants at that exact step, as
+  // the paper's driver does ("check the invariants in every state").
+  c.node(1).receive(2, AppendEntriesResponse{1, 2, false, 2});
+  c.tick(1);
+  const Index commit_before = c.node(2).commit_index();
+  ASSERT_TRUE(c.deliver_on_link(1, 2));
+  EXPECT_LT(c.node(2).commit_index(), commit_before); // committed data gone
+  bool violated_commit = false;
+  bool violated_append_only = false;
+  for (const auto& v : inv.check())
+  {
+    violated_commit =
+      violated_commit || v.find("CommitMonotonic") != std::string::npos;
+    violated_append_only =
+      violated_append_only || v.find("AppendOnlyProp") != std::string::npos;
+  }
+  EXPECT_TRUE(violated_commit);
+  EXPECT_TRUE(violated_append_only);
+}
+
+TEST(Bug4EarlyTruncate, FixedToleratesStaleNack)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = 37;
+  o.node_template.max_entries_per_ae = 2;
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.submit("a");
+  c.submit("b");
+  c.sign();
+  for (int i = 0; i < 80; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  ASSERT_GE(c.node(2).commit_index(), 5u);
+  c.node(1).receive(2, AppendEntriesResponse{1, 2, false, 2});
+  c.tick(1);
+  for (int i = 0; i < 40; ++i)
+  {
+    c.tick_all();
+    c.drain();
+    ASSERT_TRUE(inv.check().empty());
+  }
+  EXPECT_GE(c.node(2).commit_index(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug 5 — Inaccurate AE-ACK (safety).
+// The AE-ACK handler reported the local last index instead of the last
+// index covered by the received AE, over-reporting replication when the
+// local suffix may be incompatible with the leader's log.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  std::pair<std::unique_ptr<RaftNode>, AppendEntriesResponse>
+  follower_acks_heartbeat(BugFlags bugs)
+  {
+    auto n = std::make_unique<RaftNode>(
+      cfg(2, bugs), std::vector<NodeId>{1, 2, 3}, 1);
+    // Uncommitted term-1 suffix beyond the heartbeat's coverage.
+    n->receive(
+      1,
+      AppendEntriesRequest{
+        1, 1, 2, 1, 2, {data_entry(1, "a"), data_entry(1, "b")}});
+    (void)n->take_outbox();
+    EXPECT_EQ(n->last_index(), 4u);
+    // Heartbeat covering only up to index 2.
+    n->receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {}});
+    auto out = n->take_outbox();
+    AppendEntriesResponse resp{};
+    for (const auto& o : out)
+    {
+      if (const auto* r = std::get_if<AppendEntriesResponse>(&o.msg))
+      {
+        resp = *r;
+      }
+    }
+    return {std::move(n), resp};
+  }
+}
+
+TEST(Bug5InaccurateAck, BuggyAcksBeyondAeCoverage)
+{
+  BugFlags bugs;
+  bugs.ack_local_last_idx = true;
+  auto [n, resp] = follower_acks_heartbeat(bugs);
+  EXPECT_TRUE(resp.success);
+  EXPECT_EQ(resp.last_idx, 4u); // claims the whole local log
+}
+
+TEST(Bug5InaccurateAck, FixedAcksExactlyAeCoverage)
+{
+  auto [n, resp] = follower_acks_heartbeat({});
+  EXPECT_TRUE(resp.success);
+  EXPECT_EQ(resp.last_idx, 2u);
+}
+
+namespace
+{
+  /// The leader receives an acknowledgement for an AE covering only up to
+  /// index 3, while the follower's log extends to 4. Returns the leader's
+  /// resulting match index for the follower.
+  Index match_after_short_window_ack(BugFlags bugs)
+  {
+    ClusterOptions o;
+    o.initial_config = {1, 2, 3};
+    o.initial_leader = 1;
+    o.seed = 39;
+    o.node_template.bugs = bugs;
+    o.node_template.max_entries_per_ae = 1;
+    Cluster c(o);
+    c.node(1).client_request("x"); // idx 3
+    c.node(1).client_request("y"); // idx 4
+    c.tick(1);
+    // Follower 2 receives both entries but none of its ACKs are delivered.
+    EXPECT_TRUE(c.deliver_on_link(1, 2));
+    EXPECT_TRUE(c.deliver_on_link(1, 2));
+    EXPECT_EQ(c.node(2).last_index(), 4u);
+    c.network().clear();
+    // A stale NACK rewinds the leader to index 2; with batch size 1 the
+    // re-sent AE covers only (2, 3].
+    c.node(1).receive(2, AppendEntriesResponse{1, 2, false, 2});
+    c.tick(1);
+    EXPECT_TRUE(c.deliver_on_link(1, 2)); // the short AE
+    EXPECT_TRUE(c.deliver_on_link(2, 1)); // its ACK
+    return c.node(1).match_index(2);
+  }
+}
+
+TEST(Bug5InaccurateAck, LeaderOverCountsReplication)
+{
+  BugFlags bugs;
+  bugs.ack_local_last_idx = true;
+  // The ACK claims index 4 although the AE only confirmed up to 3: the
+  // leader now counts index 4 as replicated without any evidence.
+  EXPECT_EQ(match_after_short_window_ack(bugs), 4u);
+}
+
+TEST(Bug5InaccurateAck, FixedCountsOnlyConfirmedWindow)
+{
+  EXPECT_EQ(match_after_short_window_ack({}), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug 6 — Premature node retirement (liveness).
+// A node stopped participating as soon as its removal was *ordered*; if
+// its acknowledgement was still needed to commit that removal, the
+// network stalled forever.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  /// Two-node service {1,2}; leader 1 removes itself. Committing the
+  /// reconfiguration requires BOTH nodes (majority of {1,2}) — if node 1
+  /// goes silent at "ordered", nothing ever commits again and no leader
+  /// can be elected (node 2 alone is not a majority of {1,2}).
+  void run_self_removal(Cluster& c)
+  {
+    c.node(1).propose_reconfiguration({2});
+    c.node(1).emit_signature();
+    for (int i = 0; i < 400; ++i)
+    {
+      c.tick_all();
+      c.drain();
+    }
+  }
+}
+
+TEST(Bug6PrematureRetirement, BuggyStallsForever)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2};
+  o.initial_leader = 1;
+  o.seed = 41;
+  o.node_template.bugs.premature_retirement = true;
+  Cluster c(o);
+  run_self_removal(c);
+  // Liveness lost: the reconfiguration never commits (node 1 went silent
+  // at "ordered" while its acknowledgement was still required), node 2 can
+  // never assemble an election quorum, and the handover never happens.
+  EXPECT_LT(c.node(2).commit_index(), 3u);
+  EXPECT_NE(c.node(2).role(), Role::Leader);
+  EXPECT_NE(c.node(2).role(), Role::Retired);
+  EXPECT_NE(c.node(1).membership(), MembershipState::RetirementCompleted);
+}
+
+TEST(Bug6PrematureRetirement, FixedCompletesHandover)
+{
+  ClusterOptions o;
+  o.initial_config = {1, 2};
+  o.initial_leader = 1;
+  o.seed = 41;
+  Cluster c(o);
+  run_self_removal(c);
+  // The retiring leader stays engaged until its retirement commits, hands
+  // over via ProposeVote, and node 2 carries on alone.
+  EXPECT_EQ(c.node(1).role(), Role::Retired);
+  EXPECT_EQ(
+    c.node(1).membership(), MembershipState::RetirementCompleted);
+  const auto l = c.find_leader();
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(*l, 2u);
+  // And the survivor still commits new transactions.
+  const auto txid = c.submit("solo");
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  for (int i = 0; i < 100; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  EXPECT_EQ(c.node(2).status(*txid), TxStatus::Committed);
+}

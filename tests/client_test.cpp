@@ -1,0 +1,215 @@
+// Tests for the client session layer: response-before-replication
+// semantics, status polling lifecycles (PENDING → COMMITTED / INVALID),
+// observation sets, and the history events that feed consistency trace
+// validation.
+#include <gtest/gtest.h>
+
+#include "driver/client.h"
+#include "driver/cluster.h"
+
+using namespace scv;
+using namespace scv::driver;
+using consensus::TxId;
+using consensus::TxStatus;
+
+namespace
+{
+  ClusterOptions three_nodes(uint64_t seed)
+  {
+    ClusterOptions o;
+    o.initial_config = {1, 2, 3};
+    o.initial_leader = 1;
+    o.seed = seed;
+    return o;
+  }
+
+  void settle(Cluster& c, int ticks = 60)
+  {
+    for (int i = 0; i < ticks; ++i)
+    {
+      c.tick_all();
+      c.drain();
+    }
+  }
+}
+
+TEST(Client, RwRespondsBeforeReplication)
+{
+  Cluster c(three_nodes(201));
+  Client client(c);
+  const auto seq = client.submit_rw("v1");
+  ASSERT_TRUE(seq.has_value());
+  // Response recorded immediately; nothing replicated yet.
+  ASSERT_EQ(client.history().size(), 2u);
+  EXPECT_EQ(client.history()[0].kind, ClientEventKind::RwReq);
+  EXPECT_EQ(client.history()[1].kind, ClientEventKind::RwRes);
+  EXPECT_EQ(client.history()[1].txid, (TxId{1, 1}));
+  EXPECT_TRUE(client.history()[1].observed.empty());
+  // And it is still PENDING.
+  EXPECT_EQ(client.poll(*seq), TxStatus::Pending);
+}
+
+TEST(Client, SequentialTxsObservePredecessors)
+{
+  Cluster c(three_nodes(203));
+  Client client(c);
+  const auto s1 = client.submit_rw("a");
+  const auto s2 = client.submit_rw("b");
+  const auto s3 = client.submit_rw("c");
+  ASSERT_TRUE(s1 && s2 && s3);
+  EXPECT_EQ(client.txid_of(*s3), (TxId{1, 3}));
+  const auto& res3 = client.history().back();
+  ASSERT_EQ(res3.kind, ClientEventKind::RwRes);
+  EXPECT_EQ(res3.observed, (std::vector<TxId>{{1, 1}, {1, 2}}));
+}
+
+TEST(Client, CommitLifecycleRecordsStatus)
+{
+  Cluster c(three_nodes(205));
+  Client client(c);
+  const auto seq = client.submit_rw("x");
+  ASSERT_TRUE(seq.has_value());
+  c.sign();
+  settle(c);
+  EXPECT_EQ(client.poll(*seq), TxStatus::Committed);
+  const auto& status = client.history().back();
+  EXPECT_EQ(status.kind, ClientEventKind::Status);
+  EXPECT_EQ(status.status, TxStatus::Committed);
+  EXPECT_EQ(status.txid, (TxId{1, 1}));
+  // Polling again does not duplicate the status event.
+  const size_t len = client.history().size();
+  EXPECT_EQ(client.poll(*seq), TxStatus::Committed);
+  EXPECT_EQ(client.history().size(), len);
+}
+
+TEST(Client, RoObservesCommittedAndPending)
+{
+  Cluster c(three_nodes(207));
+  Client client(c);
+  client.submit_rw("committed-one");
+  c.sign();
+  settle(c);
+  client.submit_rw("pending-one"); // unsigned: stays pending
+  const auto ro = client.submit_ro();
+  ASSERT_TRUE(ro.has_value());
+  const auto& res = client.history().back();
+  ASSERT_EQ(res.kind, ClientEventKind::RoRes);
+  // Fork-linearizable read: sees committed prefix plus local pending.
+  EXPECT_EQ(res.observed.size(), 2u);
+  EXPECT_EQ(res.txid.index, 2u);
+}
+
+TEST(Client, RoRefusedByNonLeader)
+{
+  Cluster c(three_nodes(209));
+  Client client(c);
+  const auto seq = client.submit_ro(NodeId(2)); // a follower
+  ASSERT_TRUE(seq.has_value());
+  // The request is in the history but no response follows.
+  EXPECT_EQ(client.history().back().kind, ClientEventKind::RoReq);
+}
+
+TEST(Client, DoomedTxBecomesInvalidAfterFailover)
+{
+  ClusterOptions o = three_nodes(211);
+  o.node_template.check_quorum_interval = 0;
+  Cluster c(o);
+  Client client(c);
+
+  c.partition({1}, {2, 3});
+  const auto doomed = client.submit_rw("doomed");
+  ASSERT_TRUE(doomed.has_value());
+  EXPECT_EQ(client.poll(*doomed, NodeId(1)), TxStatus::Pending);
+
+  // Majority elects a new leader and commits a conflicting transaction.
+  settle(c, 150);
+  const auto leader = c.find_leader();
+  ASSERT_TRUE(leader.has_value());
+  ASSERT_NE(*leader, 1u);
+  const auto winner = client.submit_rw("winner");
+  ASSERT_TRUE(winner.has_value());
+  c.sign();
+  settle(c, 100);
+  EXPECT_EQ(client.poll(*winner), TxStatus::Committed);
+
+  // The doomed transaction's slot committed with different content.
+  EXPECT_EQ(client.poll(*doomed), TxStatus::Invalid);
+  const auto& status = client.history().back();
+  EXPECT_EQ(status.kind, ClientEventKind::Status);
+  EXPECT_EQ(status.status, TxStatus::Invalid);
+}
+
+TEST(Client, TimestampOrderingAcrossCommits)
+{
+  Cluster c(three_nodes(213));
+  Client client(c);
+  const auto s1 = client.submit_rw("a");
+  const auto s2 = client.submit_rw("b");
+  c.sign();
+  settle(c);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_EQ(client.poll(*s1), TxStatus::Committed);
+  EXPECT_EQ(client.poll(*s2), TxStatus::Committed);
+  EXPECT_LT(*client.txid_of(*s1), *client.txid_of(*s2));
+}
+
+TEST(Client, Property2PrefixCommitted)
+{
+  // If <t.i> is committed then any <t.j>, j <= i, is committed (§2).
+  Cluster c(three_nodes(215));
+  Client client(c);
+  std::vector<uint64_t> seqs;
+  for (int i = 0; i < 4; ++i)
+  {
+    const auto s = client.submit_rw("tx" + std::to_string(i));
+    ASSERT_TRUE(s.has_value());
+    seqs.push_back(*s);
+  }
+  c.sign();
+  settle(c);
+  ASSERT_EQ(client.poll(seqs.back()), TxStatus::Committed);
+  for (const auto s : seqs)
+  {
+    EXPECT_EQ(client.poll(s), TxStatus::Committed);
+  }
+}
+
+TEST(Client, StaleLeaderServesRoMissingCommittedRw)
+{
+  // The paper's §7 non-linearizability scenario, end to end on the
+  // implementation: a committed rw transaction is invisible to a ro
+  // transaction answered by the deposed-but-active old leader.
+  ClusterOptions o = three_nodes(217);
+  o.node_template.check_quorum_interval = 0; // old leader lingers
+  Cluster c(o);
+  Client client(c);
+
+  c.partition({1}, {2, 3});
+  settle(c, 150); // nodes 2,3 elect a new leader
+  const auto leader = c.find_leader();
+  ASSERT_TRUE(leader.has_value());
+  ASSERT_NE(*leader, 1u);
+
+  const auto rw = client.submit_rw("committed-but-invisible");
+  ASSERT_TRUE(rw.has_value());
+  c.sign();
+  settle(c, 100);
+  ASSERT_EQ(client.poll(*rw), TxStatus::Committed);
+
+  // The old leader still believes it leads (no CheckQuorum) and answers a
+  // read-only transaction from its identical-but-stale log.
+  ASSERT_EQ(c.node(1).role(), consensus::Role::Leader);
+  const auto ro = client.submit_ro(NodeId(1));
+  ASSERT_TRUE(ro.has_value());
+  const auto& res = client.history().back();
+  ASSERT_EQ(res.kind, ClientEventKind::RoRes);
+  // The committed rw transaction is NOT observed: serializable, not
+  // linearizable.
+  const auto rw_id = *client.txid_of(*rw);
+  EXPECT_TRUE(
+    std::find(res.observed.begin(), res.observed.end(), rw_id) ==
+    res.observed.end());
+  // Yet the ro transaction itself is COMMITTED (it read a committed
+  // prefix).
+  EXPECT_EQ(client.poll(*ro, *leader), TxStatus::Committed);
+}

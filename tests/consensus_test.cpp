@@ -1,0 +1,336 @@
+// Unit tests for consensus building blocks: Ledger (append/truncate/Merkle
+// integration, signature scanning, agreement estimates), Configurations
+// (active sets, joint vs union quorums), and message serialization.
+#include <gtest/gtest.h>
+
+#include "consensus/configuration.h"
+#include "consensus/ledger.h"
+#include "consensus/messages.h"
+#include "crypto/signer.h"
+
+using namespace scv;
+using namespace scv::consensus;
+
+namespace
+{
+  Entry data_entry(Term term, const std::string& payload)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Data;
+    e.data = payload;
+    return e;
+  }
+
+  Entry sig_entry(Term term)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Signature;
+    return e;
+  }
+
+  Entry config_entry(Term term, std::vector<NodeId> nodes)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Reconfiguration;
+    e.config = std::move(nodes);
+    return e;
+  }
+}
+
+TEST(Ledger, EmptyLedger)
+{
+  Ledger l;
+  EXPECT_EQ(l.last_index(), 0u);
+  EXPECT_EQ(l.term_at(0), 0u);
+  EXPECT_EQ(l.term_at(1), 0u);
+  EXPECT_EQ(l.last_term(), 0u);
+}
+
+TEST(Ledger, AppendAssignsSequentialIndices)
+{
+  Ledger l;
+  EXPECT_EQ(l.append(data_entry(1, "a")), 1u);
+  EXPECT_EQ(l.append(data_entry(1, "b")), 2u);
+  EXPECT_EQ(l.last_index(), 2u);
+  EXPECT_EQ(l.at(1).data, "a");
+  EXPECT_EQ(l.at(2).data, "b");
+}
+
+TEST(Ledger, TermAt)
+{
+  Ledger l;
+  l.append(data_entry(1, "a"));
+  l.append(data_entry(2, "b"));
+  EXPECT_EQ(l.term_at(1), 1u);
+  EXPECT_EQ(l.term_at(2), 2u);
+  EXPECT_EQ(l.term_at(3), 0u);
+  EXPECT_EQ(l.last_term(), 2u);
+}
+
+TEST(Ledger, TruncateDropsSuffixAndMerkleFollows)
+{
+  Ledger l;
+  l.append(data_entry(1, "a"));
+  const auto root1 = l.root();
+  l.append(data_entry(1, "b"));
+  EXPECT_NE(l.root(), root1);
+  l.truncate(1);
+  EXPECT_EQ(l.last_index(), 1u);
+  EXPECT_EQ(l.root(), root1);
+}
+
+TEST(Ledger, SignatureScanning)
+{
+  Ledger l;
+  l.append(data_entry(1, "a")); // 1
+  l.append(sig_entry(1)); // 2
+  l.append(data_entry(1, "b")); // 3
+  l.append(sig_entry(1)); // 4
+  l.append(data_entry(2, "c")); // 5
+  EXPECT_EQ(l.last_signature_at_or_before(5), 4u);
+  EXPECT_EQ(l.last_signature_at_or_before(3), 2u);
+  EXPECT_EQ(l.last_signature_at_or_before(1), 0u);
+  EXPECT_EQ(l.signature_indices_after(0), (std::vector<Index>{2, 4}));
+  EXPECT_EQ(l.signature_indices_after(2), (std::vector<Index>{4}));
+  EXPECT_EQ(l.signature_indices_after(4), (std::vector<Index>{}));
+}
+
+TEST(Ledger, AgreementEstimateSkipsTerms)
+{
+  // Log terms: 1 1 2 2 3 3 — express catch-up skips whole terms (§2.1).
+  Ledger l;
+  for (const Term t : {1, 1, 2, 2, 3, 3})
+  {
+    l.append(data_entry(t, "x"));
+  }
+  // Leader's prev at idx 6 with term 2: last local index with term <= 2 is 4.
+  EXPECT_EQ(l.agreement_estimate(6, 2), 4u);
+  EXPECT_EQ(l.agreement_estimate(6, 1), 2u);
+  EXPECT_EQ(l.agreement_estimate(6, 0), 0u);
+  EXPECT_EQ(l.agreement_estimate(3, 3), 3u);
+  // Bound above the log is clamped.
+  EXPECT_EQ(l.agreement_estimate(100, 3), 6u);
+}
+
+TEST(Ledger, WindowCopiesHalfOpenRange)
+{
+  Ledger l;
+  l.append(data_entry(1, "a"));
+  l.append(data_entry(1, "b"));
+  l.append(data_entry(1, "c"));
+  const auto w = l.window(1, 3);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].data, "b");
+  EXPECT_EQ(w[1].data, "c");
+  EXPECT_TRUE(l.window(2, 2).empty());
+}
+
+TEST(Ledger, ProofsVerifyAgainstRoot)
+{
+  Ledger l;
+  for (int i = 0; i < 9; ++i)
+  {
+    l.append(data_entry(1, "entry" + std::to_string(i)));
+  }
+  for (Index i = 1; i <= 9; ++i)
+  {
+    EXPECT_TRUE(crypto::MerkleTree::verify_path(
+      entry_digest(l.at(i)), l.proof(i), l.root()));
+  }
+}
+
+TEST(EntryDigest, SensitiveToEveryField)
+{
+  const Entry base = data_entry(1, "x");
+  Entry changed = base;
+  changed.term = 2;
+  EXPECT_NE(entry_digest(base), entry_digest(changed));
+  changed = base;
+  changed.type = EntryType::Signature;
+  EXPECT_NE(entry_digest(base), entry_digest(changed));
+  changed = base;
+  changed.data = "y";
+  EXPECT_NE(entry_digest(base), entry_digest(changed));
+  changed = base;
+  changed.config = {1};
+  EXPECT_NE(entry_digest(base), entry_digest(changed));
+  changed = base;
+  changed.retiring_node = 3;
+  EXPECT_NE(entry_digest(base), entry_digest(changed));
+}
+
+TEST(Configurations, RebuildFindsAllConfigs)
+{
+  Ledger l;
+  l.append(config_entry(1, {1, 2, 3})); // 1
+  l.append(sig_entry(1)); // 2
+  l.append(config_entry(1, {2, 3, 4})); // 3
+  Configurations c;
+  c.rebuild(l);
+  ASSERT_EQ(c.all().size(), 2u);
+  EXPECT_EQ(c.all()[0].idx, 1u);
+  EXPECT_EQ(c.all()[1].idx, 3u);
+}
+
+TEST(Configurations, ActiveIncludesCurrentPlusPending)
+{
+  Ledger l;
+  l.append(config_entry(1, {1, 2, 3}));
+  l.append(sig_entry(1));
+  l.append(config_entry(1, {2, 3, 4}));
+  Configurations c;
+  c.rebuild(l);
+  // Commit at 2: config {1,2,3} committed, {2,3,4} pending -> both active.
+  const auto active = c.active(2);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(c.current(2).nodes, (std::vector<NodeId>{1, 2, 3}));
+  // Commit at 3: only the new config is active.
+  const auto active3 = c.active(3);
+  ASSERT_EQ(active3.size(), 1u);
+  EXPECT_EQ(active3[0].nodes, (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(c.active_nodes(2), (std::set<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(Configurations, JointQuorumRequiresBothMajorities)
+{
+  Ledger l;
+  l.append(config_entry(1, {1, 2, 3}));
+  l.append(config_entry(1, {4, 5}));
+  Configurations c;
+  c.rebuild(l);
+  // Active at commit 1: {1,2,3} (current) and {4,5} (pending).
+  const auto has = [](std::set<NodeId> in) {
+    return [in](NodeId n) { return in.contains(n); };
+  };
+  // Majority of old only: not enough.
+  EXPECT_FALSE(c.quorum_in_each(1, has({1, 2})));
+  // Majority of new only: not enough.
+  EXPECT_FALSE(c.quorum_in_each(1, has({4, 5})));
+  // Majority of old + one of two new nodes: {4,5} needs both.
+  EXPECT_FALSE(c.quorum_in_each(1, has({1, 2, 4})));
+  // Both majorities: enough.
+  EXPECT_TRUE(c.quorum_in_each(1, has({1, 2, 4, 5})));
+  // The buggy union tally accepts a set with no majority in {4,5} —
+  // 3 of 5 union nodes.
+  EXPECT_TRUE(c.quorum_in_union(1, has({1, 2, 3})));
+  EXPECT_FALSE(c.quorum_in_each(1, has({1, 2, 3})));
+}
+
+TEST(Configurations, SingletonQuorum)
+{
+  Ledger l;
+  l.append(config_entry(1, {1}));
+  Configurations c;
+  c.rebuild(l);
+  EXPECT_TRUE(c.quorum_in_each(1, [](NodeId n) { return n == 1; }));
+  EXPECT_FALSE(c.quorum_in_each(1, [](NodeId) { return false; }));
+}
+
+TEST(QuorumSize, Values)
+{
+  EXPECT_EQ(quorum_size(1), 1u);
+  EXPECT_EQ(quorum_size(2), 2u);
+  EXPECT_EQ(quorum_size(3), 2u);
+  EXPECT_EQ(quorum_size(4), 3u);
+  EXPECT_EQ(quorum_size(5), 3u);
+}
+
+TEST(TxId, LexicographicOrder)
+{
+  EXPECT_LT((TxId{1, 5}), (TxId{2, 1}));
+  EXPECT_LT((TxId{2, 1}), (TxId{2, 2}));
+  EXPECT_EQ((TxId{2, 2}), (TxId{2, 2}));
+  EXPECT_EQ((TxId{3, 7}).to_string(), "3.7");
+}
+
+class MessageRoundTrip : public ::testing::TestWithParam<Message>
+{};
+
+TEST_P(MessageRoundTrip, SerializeDeserialize)
+{
+  const Message& m = GetParam();
+  const auto bytes = serialize(m);
+  const auto back = deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+namespace
+{
+  Message ae_with_entries()
+  {
+    AppendEntriesRequest m;
+    m.term = 3;
+    m.leader = 1;
+    m.prev_idx = 5;
+    m.prev_term = 2;
+    m.leader_commit = 4;
+    m.entries.push_back(data_entry(3, "payload"));
+    Entry sig = sig_entry(3);
+    sig.root = crypto::sha256("root");
+    sig.signer = 1;
+    sig.signature = crypto::Signer(1).sign(sig.root);
+    m.entries.push_back(sig);
+    Entry cfg = config_entry(3, {1, 2, 5});
+    m.entries.push_back(cfg);
+    Entry ret;
+    ret.term = 3;
+    ret.type = EntryType::Retirement;
+    ret.retiring_node = 4;
+    m.entries.push_back(ret);
+    return m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  AllTypes,
+  MessageRoundTrip,
+  ::testing::Values(
+    Message(AppendEntriesRequest{2, 1, 0, 0, 0, {}}),
+    ae_with_entries(),
+    Message(AppendEntriesResponse{2, 3, true, 7}),
+    Message(AppendEntriesResponse{5, 2, false, 0}),
+    Message(RequestVoteRequest{4, 2, 9, 3}),
+    Message(RequestVoteResponse{4, 3, true}),
+    Message(RequestVoteResponse{4, 3, false}),
+    Message(ProposeRequestVote{6, 1})));
+
+TEST(Messages, DeserializeRejectsMalformed)
+{
+  EXPECT_FALSE(deserialize({}).has_value());
+  EXPECT_FALSE(deserialize({99}).has_value()); // unknown tag
+  // Truncated AE response.
+  auto bytes = serialize(Message(AppendEntriesResponse{2, 3, true, 7}));
+  bytes.pop_back();
+  EXPECT_FALSE(deserialize(bytes).has_value());
+  // Trailing garbage.
+  bytes = serialize(Message(RequestVoteResponse{4, 3, true}));
+  bytes.push_back(0);
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Messages, DeserializeRejectsAbsurdEntryCount)
+{
+  // Claim 2^60 entries with an empty body: must fail cleanly, not allocate.
+  AppendEntriesRequest m;
+  m.term = 1;
+  auto bytes = serialize(Message(m));
+  // Patch the entry count (last 8 bytes of the fixed header).
+  for (size_t i = bytes.size() - 8; i < bytes.size(); ++i)
+  {
+    bytes[i] = 0xff;
+  }
+  EXPECT_FALSE(deserialize(bytes).has_value());
+}
+
+TEST(Messages, TypeNamesAndJson)
+{
+  const Message m = Message(RequestVoteRequest{4, 2, 9, 3});
+  EXPECT_STREQ(message_type_name(m), "RequestVoteRequest");
+  const auto j = message_to_json(m);
+  EXPECT_EQ(j.at("term").as_int(), 4);
+  EXPECT_EQ(j.at("candidate").as_int(), 2);
+}

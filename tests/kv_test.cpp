@@ -1,0 +1,173 @@
+// Unit tests for the KV store: versioned reads, commit/rollback semantics,
+// hook firing rules (ordered vs committed, prefix matching, ordering).
+#include <gtest/gtest.h>
+
+#include "kv/store.h"
+#include "util/check.h"
+
+using namespace scv;
+using namespace scv::kv;
+
+namespace
+{
+  WriteSet set_of(const std::string& key, const std::string& value)
+  {
+    return {{{key, value}}};
+  }
+
+  WriteSet delete_of(const std::string& key)
+  {
+    return {{{key, std::nullopt}}};
+  }
+}
+
+TEST(Store, GetAbsentKey)
+{
+  Store s;
+  EXPECT_FALSE(s.get("missing").has_value());
+}
+
+TEST(Store, ApplyAndGet)
+{
+  Store s;
+  EXPECT_EQ(s.apply(set_of("k", "v1")), 1u);
+  EXPECT_EQ(s.get("k"), "v1");
+  EXPECT_EQ(s.apply(set_of("k", "v2")), 2u);
+  EXPECT_EQ(s.get("k"), "v2");
+}
+
+TEST(Store, DeleteRemovesKey)
+{
+  Store s;
+  s.apply(set_of("k", "v"));
+  s.apply(delete_of("k"));
+  EXPECT_FALSE(s.get("k").has_value());
+}
+
+TEST(Store, HistoricalReads)
+{
+  Store s;
+  s.apply(set_of("k", "v1")); // version 1
+  s.apply(set_of("k", "v2")); // version 2
+  s.apply(delete_of("k")); // version 3
+  EXPECT_FALSE(s.get_at("k", 0).has_value());
+  EXPECT_EQ(s.get_at("k", 1), "v1");
+  EXPECT_EQ(s.get_at("k", 2), "v2");
+  EXPECT_FALSE(s.get_at("k", 3).has_value());
+}
+
+TEST(Store, LastWriteInWriteSetWins)
+{
+  Store s;
+  WriteSet ws;
+  ws.writes.push_back({"k", "first"});
+  ws.writes.push_back({"k", "second"});
+  s.apply(ws);
+  EXPECT_EQ(s.get("k"), "second");
+}
+
+TEST(Store, KeysWithPrefix)
+{
+  Store s;
+  s.apply(set_of("a.1", "x"));
+  s.apply(set_of("a.2", "y"));
+  s.apply(set_of("b.1", "z"));
+  s.apply(delete_of("a.2"));
+  EXPECT_EQ(s.keys_with_prefix("a."), (std::vector<std::string>{"a.1"}));
+  EXPECT_EQ(
+    s.keys_with_prefix(""),
+    (std::vector<std::string>{"a.1", "b.1"}));
+}
+
+TEST(Store, CommitAdvancesAndIsMonotonic)
+{
+  Store s;
+  s.apply(set_of("k", "v"));
+  s.apply(set_of("k", "w"));
+  s.commit(1);
+  EXPECT_EQ(s.commit_version(), 1u);
+  EXPECT_THROW(s.commit(0), CheckFailure); // regression forbidden
+  s.commit(2);
+  EXPECT_EQ(s.commit_version(), 2u);
+}
+
+TEST(Store, RollbackDiscardsUncommitted)
+{
+  Store s;
+  s.apply(set_of("k", "v1"));
+  s.commit(1);
+  s.apply(set_of("k", "v2"));
+  s.rollback(1);
+  EXPECT_EQ(s.get("k"), "v1");
+  EXPECT_EQ(s.current_version(), 1u);
+}
+
+TEST(Store, RollbackBelowCommitForbidden)
+{
+  Store s;
+  s.apply(set_of("k", "v"));
+  s.commit(1);
+  EXPECT_THROW(s.rollback(0), CheckFailure);
+}
+
+TEST(Store, OrderedHookFiresOnApply)
+{
+  Store s;
+  std::vector<Version> fired;
+  s.on_ordered("ccf.gov.", [&](Version v, const WriteSet&) {
+    fired.push_back(v);
+  });
+  s.apply(set_of("ccf.gov.nodes.info", "1,2,3"));
+  s.apply(set_of("app.data", "x")); // different prefix: no fire
+  EXPECT_EQ(fired, (std::vector<Version>{1}));
+}
+
+TEST(Store, CommittedHookFiresOnCommitInOrder)
+{
+  Store s;
+  std::vector<Version> fired;
+  s.on_committed("k", [&](Version v, const WriteSet&) {
+    fired.push_back(v);
+  });
+  s.apply(set_of("k1", "a"));
+  s.apply(set_of("k2", "b"));
+  s.apply(set_of("other", "c"));
+  EXPECT_TRUE(fired.empty());
+  s.commit(3);
+  EXPECT_EQ(fired, (std::vector<Version>{1, 2}));
+}
+
+TEST(Store, CommittedHookNotRefiredOnLaterCommit)
+{
+  Store s;
+  int count = 0;
+  s.on_committed("k", [&](Version, const WriteSet&) { ++count; });
+  s.apply(set_of("k", "a"));
+  s.commit(1);
+  s.apply(set_of("k", "b"));
+  s.commit(2);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Store, MultipleHooksAllFire)
+{
+  Store s;
+  int a = 0;
+  int b = 0;
+  s.on_ordered("k", [&](Version, const WriteSet&) { ++a; });
+  s.on_ordered("", [&](Version, const WriteSet&) { ++b; });
+  s.apply(set_of("k", "v"));
+  s.apply(set_of("other", "v"));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Store, HookReceivesWriteSet)
+{
+  Store s;
+  WriteSet seen;
+  s.on_ordered("ccf.", [&](Version, const WriteSet& ws) { seen = ws; });
+  const WriteSet ws = set_of("ccf.gov.nodes.info", "1,2");
+  s.apply(ws);
+  EXPECT_EQ(seen, ws);
+}

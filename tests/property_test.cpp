@@ -1,0 +1,358 @@
+// Property-based sweeps: randomized inputs checked against naive reference
+// implementations and structural invariants — the casual half of smart
+// casual verification, broadened with parameterized seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "consensus/ledger.h"
+#include "consensus/messages.h"
+#include "crypto/merkle_tree.h"
+#include "driver/cluster.h"
+#include "driver/invariants.h"
+#include "trace/consensus_binding.h"
+#include "util/rng.h"
+
+using namespace scv;
+using namespace scv::consensus;
+
+// ---------------------------------------------------------------------------
+// Merkle tree vs a naive recompute-from-scratch reference, under random
+// append/truncate interleavings.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  crypto::Digest naive_root(const std::vector<crypto::Digest>& leaves)
+  {
+    if (leaves.empty())
+    {
+      return crypto::sha256("");
+    }
+    // Recursive RFC-6962 shape, recomputed from scratch.
+    std::function<crypto::Digest(size_t, size_t)> sub =
+      [&](size_t begin, size_t end) -> crypto::Digest {
+      if (end - begin == 1)
+      {
+        return leaves[begin];
+      }
+      size_t k = 1;
+      while (k * 2 < end - begin)
+      {
+        k *= 2;
+      }
+      return crypto::MerkleTree::combine(
+        sub(begin, begin + k), sub(begin + k, end));
+    };
+    return sub(0, leaves.size());
+  }
+}
+
+class MerklePropertyTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(MerklePropertyTest, MatchesNaiveReferenceUnderRandomOps)
+{
+  Rng rng(GetParam());
+  crypto::MerkleTree tree;
+  std::vector<crypto::Digest> reference;
+  for (int op = 0; op < 300; ++op)
+  {
+    if (reference.empty() || rng.below(100) < 70)
+    {
+      const auto leaf =
+        crypto::sha256("leaf" + std::to_string(rng.next() % 1000));
+      tree.append(leaf);
+      reference.push_back(leaf);
+    }
+    else
+    {
+      const size_t keep = rng.below(reference.size() + 1);
+      tree.truncate(keep);
+      reference.resize(keep);
+    }
+    ASSERT_EQ(tree.root(), naive_root(reference)) << "op " << op;
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  // All inclusion proofs of the final tree verify.
+  for (size_t i = 0; i < reference.size(); ++i)
+  {
+    EXPECT_TRUE(
+      crypto::MerkleTree::verify_path(reference[i], tree.path(i), tree.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Seeds, MerklePropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Ledger agreement estimate vs a naive linear search.
+// ---------------------------------------------------------------------------
+
+class AgreementEstimateTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AgreementEstimateTest, MatchesNaiveScan)
+{
+  Rng rng(GetParam() * 977);
+  Ledger ledger;
+  Term term = 1;
+  for (int i = 0; i < 60; ++i)
+  {
+    if (rng.below(100) < 25)
+    {
+      term += 1 + rng.below(2);
+    }
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Data;
+    e.data = "x";
+    ledger.append(e);
+  }
+  for (Index bound = 0; bound <= ledger.last_index() + 3; ++bound)
+  {
+    for (Term max_term = 0; max_term <= term + 1; ++max_term)
+    {
+      Index naive = 0;
+      for (Index i = 1; i <= std::min(bound, ledger.last_index()); ++i)
+      {
+        if (ledger.term_at(i) <= max_term)
+        {
+          naive = std::max(naive, i);
+        }
+      }
+      // The implementation scans from the top; naive from the bottom: the
+      // largest qualifying index must agree... except the implementation
+      // returns the largest index i <= bound with term <= max_term, which
+      // is what the naive max computes only when terms are monotone.
+      // Terms in a ledger ARE monotone, so they agree.
+      ASSERT_EQ(ledger.agreement_estimate(bound, max_term), naive)
+        << "bound=" << bound << " max_term=" << max_term;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Seeds, AgreementEstimateTest, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Message codec: random round-trips and mutation fuzz (never crashes,
+// never mis-decodes).
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  Message random_message(Rng& rng)
+  {
+    switch (rng.below(5))
+    {
+      case 0:
+      {
+        AppendEntriesRequest m;
+        m.term = rng.below(100);
+        m.leader = rng.below(8);
+        m.prev_idx = rng.below(50);
+        m.prev_term = rng.below(100);
+        m.leader_commit = rng.below(50);
+        const size_t n = rng.below(5);
+        for (size_t i = 0; i < n; ++i)
+        {
+          Entry e;
+          e.term = rng.below(100);
+          e.type = static_cast<EntryType>(rng.below(4));
+          e.data = std::string(rng.below(20), 'a' + (rng.next() % 26));
+          if (e.type == EntryType::Reconfiguration)
+          {
+            for (NodeId id = 1; id <= 5; ++id)
+            {
+              if (rng.chance(0.5))
+              {
+                e.config.push_back(id);
+              }
+            }
+          }
+          if (e.type == EntryType::Retirement)
+          {
+            e.retiring_node = rng.below(8);
+          }
+          m.entries.push_back(e);
+        }
+        return m;
+      }
+      case 1:
+        return AppendEntriesResponse{
+          rng.below(100), rng.below(8), rng.chance(0.5), rng.below(50)};
+      case 2:
+        return RequestVoteRequest{
+          rng.below(100), rng.below(8), rng.below(50), rng.below(100)};
+      case 3:
+        return RequestVoteResponse{rng.below(100), rng.below(8), rng.chance(0.5)};
+      default:
+        return ProposeRequestVote{rng.below(100), rng.below(8)};
+    }
+  }
+}
+
+class CodecFuzzTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CodecFuzzTest, RandomMessagesRoundTrip)
+{
+  Rng rng(GetParam() * 13);
+  for (int i = 0; i < 500; ++i)
+  {
+    const Message m = random_message(rng);
+    const auto bytes = serialize(m);
+    const auto back = deserialize(bytes);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(*back, m);
+  }
+}
+
+TEST_P(CodecFuzzTest, MutatedBytesNeverCrash)
+{
+  Rng rng(GetParam() * 17);
+  for (int i = 0; i < 500; ++i)
+  {
+    auto bytes = serialize(random_message(rng));
+    // Random mutations: flip, truncate, extend.
+    const uint64_t what = rng.below(3);
+    if (what == 0 && !bytes.empty())
+    {
+      bytes[rng.below(bytes.size())] ^=
+        static_cast<uint8_t>(1u << rng.below(8));
+    }
+    else if (what == 1 && !bytes.empty())
+    {
+      bytes.resize(rng.below(bytes.size()));
+    }
+    else
+    {
+      bytes.push_back(static_cast<uint8_t>(rng.next()));
+    }
+    // Must not crash; may or may not decode.
+    const auto back = deserialize(bytes);
+    if (back.has_value())
+    {
+      // Whatever decoded must re-encode to the same bytes (canonical).
+      EXPECT_EQ(serialize(*back), bytes);
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, RandomGarbageNeverCrashes)
+{
+  Rng rng(GetParam() * 23);
+  for (int i = 0; i < 500; ++i)
+  {
+    std::vector<uint8_t> garbage(rng.below(64));
+    for (auto& b : garbage)
+    {
+      b = static_cast<uint8_t>(rng.next());
+    }
+    (void)deserialize(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Trace validation as a universal property: every fault-free run of the
+// correct implementation, across random schedules and workloads, is a
+// behavior of the spec.
+// ---------------------------------------------------------------------------
+
+class TraceValidationProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(TraceValidationProperty, RandomRunsAlwaysValidate)
+{
+  const uint64_t seed = GetParam();
+  driver::ClusterOptions o;
+  o.initial_config = {1, 2, 3};
+  o.initial_leader = 1;
+  o.seed = seed;
+  driver::Cluster c(o);
+  Rng rng(seed * 104729);
+  for (int step = 0; step < 120; ++step)
+  {
+    c.tick_all();
+    c.drain(rng.below(5));
+    const uint64_t dice = rng.below(100);
+    if (dice < 20)
+    {
+      c.submit("p" + std::to_string(step));
+    }
+    else if (dice < 32)
+    {
+      c.sign();
+    }
+    else if (dice < 36)
+    {
+      const NodeId n = 1 + rng.below(3);
+      if (!c.crashed(n))
+      {
+        c.node(n).force_timeout();
+        c.tick(n);
+      }
+    }
+  }
+  c.drain();
+
+  const auto params = trace::validation_params({1, 2, 3}, 1, 3);
+  const auto result = trace::validate_consensus_trace(c.trace(), params);
+  EXPECT_TRUE(result.ok)
+    << "seed " << seed << ": failed at " << result.failed_line << " ("
+    << result.lines_matched << " lines matched)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Seeds,
+  TraceValidationProperty,
+  ::testing::Values(501, 502, 503, 504, 505, 506, 507, 508));
+
+// ---------------------------------------------------------------------------
+// Consistency spec model checking across a parameter grid: the guaranteed
+// properties hold for every bounded model shape.
+// ---------------------------------------------------------------------------
+
+#include "spec/model_checker.h"
+#include "specs/consistency/spec.h"
+
+struct ConsistencyShape
+{
+  uint8_t rw;
+  uint8_t ro;
+  uint8_t branches;
+};
+
+class ConsistencyGridTest : public ::testing::TestWithParam<ConsistencyShape>
+{};
+
+TEST_P(ConsistencyGridTest, GuaranteedPropertiesHold)
+{
+  const auto shape = GetParam();
+  specs::consistency::Params p;
+  p.max_rw_txs = shape.rw;
+  p.max_ro_txs = shape.ro;
+  p.max_branches = shape.branches;
+  p.include_observed_ro = false;
+  spec::CheckLimits limits;
+  limits.time_budget_seconds = 30.0;
+  limits.max_distinct_states = 2'000'000;
+  const auto result = spec::model_check(
+    specs::consistency::build_spec(p), limits);
+  EXPECT_TRUE(result.ok)
+    << (result.counterexample ? result.counterexample->to_string() : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+  Shapes,
+  ConsistencyGridTest,
+  ::testing::Values(
+    ConsistencyShape{1, 1, 2},
+    ConsistencyShape{2, 0, 2},
+    ConsistencyShape{2, 1, 2},
+    ConsistencyShape{1, 2, 2},
+    ConsistencyShape{3, 0, 3},
+    ConsistencyShape{1, 1, 3}));

@@ -1,0 +1,710 @@
+// Node-level unit tests: a single RaftNode driven by hand-crafted inputs,
+// checking the protocol decision tables directly — bootstrap state, vote
+// granting, AppendEntries consistency checks, NACK estimates, optimistic
+// sent-index bookkeeping, commit rules, status transitions, and CheckQuorum.
+#include <gtest/gtest.h>
+
+#include "consensus/raft_node.h"
+#include "crypto/signer.h"
+
+using namespace scv;
+using namespace scv::consensus;
+
+namespace
+{
+  NodeConfig cfg(NodeId id)
+  {
+    NodeConfig c;
+    c.id = id;
+    c.rng_seed = 7;
+    return c;
+  }
+
+  /// Finds the first outbound message of type M, if any.
+  template <class M>
+  std::optional<std::pair<NodeId, M>> first_out(std::vector<Outbound>& out)
+  {
+    for (auto& o : out)
+    {
+      if (const M* m = std::get_if<M>(&o.msg))
+      {
+        return std::make_pair(o.to, *m);
+      }
+    }
+    return std::nullopt;
+  }
+
+  Entry data_entry(Term term, const std::string& payload)
+  {
+    Entry e;
+    e.term = term;
+    e.type = EntryType::Data;
+    e.data = payload;
+    return e;
+  }
+}
+
+TEST(RaftBootstrap, LogStartsWithConfigAndSignature)
+{
+  RaftNode n(cfg(1), {1, 2, 3}, 1);
+  EXPECT_EQ(n.last_index(), 2u);
+  EXPECT_EQ(n.commit_index(), 2u);
+  EXPECT_EQ(n.current_term(), 1u);
+  EXPECT_EQ(n.ledger().at(1).type, EntryType::Reconfiguration);
+  EXPECT_EQ(n.ledger().at(1).config, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(n.ledger().at(2).type, EntryType::Signature);
+}
+
+TEST(RaftBootstrap, InitialLeaderLeads)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  RaftNode follower(cfg(2), {1, 2, 3}, 1);
+  EXPECT_EQ(leader.role(), Role::Leader);
+  EXPECT_EQ(follower.role(), Role::Follower);
+  EXPECT_EQ(follower.leader_hint(), 1u);
+}
+
+TEST(RaftBootstrap, SignatureVerifies)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  const Entry& sig = n.ledger().at(2);
+  EXPECT_TRUE(crypto::verify_signature(1, sig.root, sig.signature));
+}
+
+TEST(RaftClientRequest, LeaderAcceptsFollowerRejects)
+{
+  RaftNode leader(cfg(1), {1, 2}, 1);
+  RaftNode follower(cfg(2), {1, 2}, 1);
+  const auto txid = leader.client_request("tx");
+  ASSERT_TRUE(txid.has_value());
+  EXPECT_EQ(*txid, (TxId{1, 3}));
+  EXPECT_FALSE(follower.client_request("tx").has_value());
+}
+
+TEST(RaftClientRequest, BroadcastsAppendEntries)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  (void)leader.take_outbox();
+  leader.client_request("tx");
+  auto out = leader.take_outbox();
+  int ae_count = 0;
+  for (const auto& o : out)
+  {
+    if (std::holds_alternative<AppendEntriesRequest>(o.msg))
+    {
+      ++ae_count;
+    }
+  }
+  EXPECT_EQ(ae_count, 2); // one per peer
+}
+
+TEST(RaftVote, GrantsWhenLogUpToDateAndNotVoted)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{2, 3, 2, 1});
+  auto out = n.take_outbox();
+  const auto resp = first_out<RequestVoteResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->second.granted);
+  EXPECT_EQ(n.voted_for(), 3u);
+  EXPECT_EQ(n.current_term(), 2u);
+}
+
+TEST(RaftVote, DeniesStaleLog)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // Candidate's log (idx 1, term 1) is behind ours (idx 2, term 1).
+  n.receive(3, RequestVoteRequest{2, 3, 1, 1});
+  auto out = n.take_outbox();
+  const auto resp = first_out<RequestVoteResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.granted);
+  EXPECT_FALSE(n.voted_for().has_value()); // term bumped, vote still free
+}
+
+TEST(RaftVote, DeniesSecondCandidateSameTerm)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{2, 3, 2, 1});
+  (void)n.take_outbox();
+  n.receive(1, RequestVoteRequest{2, 1, 2, 1});
+  auto out = n.take_outbox();
+  const auto resp = first_out<RequestVoteResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.granted);
+  EXPECT_EQ(n.voted_for(), 3u);
+}
+
+TEST(RaftVote, RegrantsSameCandidate)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{2, 3, 2, 1});
+  (void)n.take_outbox();
+  n.receive(3, RequestVoteRequest{2, 3, 2, 1}); // duplicate delivery
+  auto out = n.take_outbox();
+  const auto resp = first_out<RequestVoteResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->second.granted);
+}
+
+TEST(RaftVote, DeniesOldTerm)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{2, 3, 2, 1});
+  (void)n.take_outbox();
+  // A candidate from term 1 (below our now-term 2).
+  n.receive(1, RequestVoteRequest{1, 1, 2, 1});
+  auto out = n.take_outbox();
+  const auto resp = first_out<RequestVoteResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.granted);
+  EXPECT_EQ(resp->second.term, 2u);
+}
+
+TEST(RaftElection, ForceTimeoutStartsElection)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  (void)n.take_outbox();
+  n.force_timeout();
+  EXPECT_EQ(n.role(), Role::Candidate);
+  EXPECT_EQ(n.current_term(), 2u);
+  EXPECT_EQ(n.voted_for(), 2u);
+  auto out = n.take_outbox();
+  int rv = 0;
+  for (const auto& o : out)
+  {
+    rv += std::holds_alternative<RequestVoteRequest>(o.msg) ? 1 : 0;
+  }
+  EXPECT_EQ(rv, 2);
+}
+
+TEST(RaftElection, WinsWithQuorumAndSignsImmediately)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.force_timeout();
+  (void)n.take_outbox();
+  n.receive(3, RequestVoteResponse{2, 3, true});
+  EXPECT_EQ(n.role(), Role::Leader);
+  // A new leader immediately appends a signature for its term.
+  EXPECT_EQ(n.ledger().at(n.last_index()).type, EntryType::Signature);
+  EXPECT_EQ(n.ledger().at(n.last_index()).term, 2u);
+}
+
+TEST(RaftElection, DeniedVotesDontCount)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.force_timeout();
+  n.receive(3, RequestVoteResponse{2, 3, false});
+  EXPECT_EQ(n.role(), Role::Candidate);
+}
+
+TEST(RaftElection, StaleVoteResponseIgnored)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.force_timeout(); // term 2
+  n.force_timeout(); // term 3 (restart election)
+  n.receive(3, RequestVoteResponse{2, 3, true}); // vote from old term
+  EXPECT_EQ(n.role(), Role::Candidate);
+}
+
+TEST(RaftElection, SingleNodeConfigElectsItself)
+{
+  RaftNode n(cfg(1), {1}, 1);
+  // Already leader from bootstrap; force a new election cycle.
+  n.receive(9, RequestVoteRequest{5, 9, 99, 9}); // bump term, step down
+  EXPECT_EQ(n.role(), Role::Follower);
+  n.force_timeout();
+  EXPECT_EQ(n.role(), Role::Leader);
+  EXPECT_EQ(n.current_term(), 6u);
+}
+
+TEST(RaftElection, CandidateRollsBackUnsignedSuffix)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.client_request("uncommittable");
+  EXPECT_EQ(leader.last_index(), 3u);
+  // Step down, then campaign: the unsigned suffix must be discarded.
+  leader.receive(2, RequestVoteRequest{2, 2, 2, 1});
+  EXPECT_EQ(leader.role(), Role::Follower);
+  leader.force_timeout();
+  EXPECT_EQ(leader.role(), Role::Candidate);
+  EXPECT_EQ(leader.last_index(), 2u); // rolled back to last signature
+}
+
+TEST(RaftAppendEntries, HeartbeatAckAndLeaderHint)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {}});
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->second.success);
+  EXPECT_EQ(resp->second.last_idx, 2u); // prev + 0 entries
+  EXPECT_EQ(n.leader_hint(), 1u);
+}
+
+TEST(RaftAppendEntries, AppendsNewEntries)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  AppendEntriesRequest ae{1, 1, 2, 1, 2, {data_entry(1, "x")}};
+  n.receive(1, ae);
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->second.success);
+  EXPECT_EQ(resp->second.last_idx, 3u);
+  EXPECT_EQ(n.last_index(), 3u);
+  EXPECT_EQ(n.ledger().at(3).data, "x");
+}
+
+TEST(RaftAppendEntries, DuplicateDeliveryIsIdempotent)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  AppendEntriesRequest ae{1, 1, 2, 1, 2, {data_entry(1, "x")}};
+  n.receive(1, ae);
+  (void)n.take_outbox();
+  n.receive(1, ae);
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->second.success);
+  EXPECT_EQ(n.last_index(), 3u); // not appended twice
+}
+
+TEST(RaftAppendEntries, NacksMissingPrev)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // prev_idx 5 is beyond our log (2 entries): NACK with estimate = 2.
+  n.receive(1, AppendEntriesRequest{1, 1, 5, 1, 2, {}});
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.success);
+  EXPECT_EQ(resp->second.last_idx, 2u);
+}
+
+TEST(RaftAppendEntries, NackEstimateSkipsDivergentTerms)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // Build local log with terms [1,1,3,3] (via a term-3 leader).
+  n.receive(9, AppendEntriesRequest{3, 9, 2, 1, 2,
+    {data_entry(3, "a"), data_entry(3, "b")}});
+  (void)n.take_outbox();
+  ASSERT_EQ(n.last_index(), 4u);
+  // A term-5 leader probes with prev=(4, term 2): our idx 3..4 have term 3
+  // > 2 so the estimate skips to index 2.
+  n.receive(8, AppendEntriesRequest{5, 8, 4, 2, 2, {}});
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.success);
+  EXPECT_EQ(resp->second.last_idx, 2u);
+}
+
+TEST(RaftAppendEntries, NaiveCatchUpRetreatsByOne)
+{
+  // Ablation knob (§2.1): vanilla-Raft agreement search steps back one
+  // index per NACK instead of skipping whole terms.
+  NodeConfig c = cfg(2);
+  c.naive_catch_up = true;
+  RaftNode n(c, {1, 2, 3}, 1);
+  // Divergent term-3 suffix.
+  n.receive(9, AppendEntriesRequest{3, 9, 2, 1, 2,
+    {data_entry(3, "a"), data_entry(3, "b")}});
+  (void)n.take_outbox();
+  ASSERT_EQ(n.last_index(), 4u);
+  // A term-5 probe at (4, term 2): express would skip to index 2; naive
+  // answers prev-1 = 3.
+  n.receive(8, AppendEntriesRequest{5, 8, 4, 2, 2, {}});
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.success);
+  EXPECT_EQ(resp->second.last_idx, 3u);
+  // A probe beyond the log still answers with the log end (both modes).
+  n.receive(8, AppendEntriesRequest{5, 8, 9, 2, 2, {}});
+  out = n.take_outbox();
+  const auto resp2 = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp2.has_value());
+  EXPECT_EQ(resp2->second.last_idx, 4u);
+}
+
+TEST(RaftAppendEntries, TruncatesOnlyOnTrueConflict)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2,
+    {data_entry(1, "a"), data_entry(1, "b")}});
+  (void)n.take_outbox();
+  ASSERT_EQ(n.last_index(), 4u);
+  // A new-term leader replays an overlapping window with identical entries
+  // followed by a new one: the overlap must be kept, not truncated.
+  n.receive(3, AppendEntriesRequest{2, 3, 2, 1, 2,
+    {data_entry(1, "a"), data_entry(1, "b"), data_entry(2, "c")}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.last_index(), 5u);
+  EXPECT_EQ(n.ledger().at(3).data, "a");
+  EXPECT_EQ(n.ledger().at(5).data, "c");
+}
+
+TEST(RaftAppendEntries, ConflictingSuffixReplaced)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2,
+    {data_entry(1, "a"), data_entry(1, "b")}});
+  (void)n.take_outbox();
+  // Term-2 leader's log diverges at index 3.
+  n.receive(3, AppendEntriesRequest{2, 3, 2, 1, 2,
+    {data_entry(2, "A")}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.last_index(), 3u);
+  EXPECT_EQ(n.ledger().at(3).data, "A");
+  EXPECT_EQ(n.ledger().term_at(3), 2u);
+}
+
+TEST(RaftAppendEntries, StaleTermNackedWithCurrentTerm)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{4, 3, 2, 1}); // bump to term 4
+  (void)n.take_outbox();
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {}});
+  auto out = n.take_outbox();
+  const auto resp = first_out<AppendEntriesResponse>(out);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_FALSE(resp->second.success);
+  EXPECT_EQ(resp->second.term, 4u);
+}
+
+TEST(RaftAppendEntries, CommitClampedToAeCoverageAndSignature)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // Leader claims commit 10, but the AE only covers up to index 3, and
+  // index 3 is a bare data entry: commit snaps back to the last signature
+  // within the confirmed window (index 2).
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 10, {data_entry(1, "x")}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.commit_index(), 2u);
+  // Once a signature lands inside the covered window, commit advances to
+  // that signature even though the claimed commit is still higher.
+  Entry sig;
+  sig.term = 1;
+  sig.type = EntryType::Signature;
+  n.receive(1, AppendEntriesRequest{1, 1, 3, 1, 10, {sig}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.commit_index(), 4u);
+}
+
+TEST(RaftCommit, LeaderCommitsSignatureOnQuorumAck)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.client_request("tx"); // idx 3
+  leader.emit_signature(); // idx 4
+  (void)leader.take_outbox();
+  EXPECT_EQ(leader.commit_index(), 2u);
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 4});
+  EXPECT_EQ(leader.commit_index(), 4u); // self + node 2 = quorum of 3
+}
+
+TEST(RaftCommit, DataAloneIsNotCommittable)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.client_request("tx"); // idx 3, no signature afterwards
+  (void)leader.take_outbox();
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 3});
+  leader.receive(3, AppendEntriesResponse{1, 3, true, 3});
+  EXPECT_EQ(leader.commit_index(), 2u); // nothing to commit without a sig
+}
+
+TEST(RaftCommit, NackDoesNotAdvanceCommit)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.client_request("tx");
+  leader.emit_signature(); // idx 4
+  (void)leader.take_outbox();
+  // A (bogus) NACK claiming agreement at 4 must not advance commit.
+  leader.receive(2, AppendEntriesResponse{1, 2, false, 4});
+  EXPECT_EQ(leader.commit_index(), 2u);
+  EXPECT_EQ(leader.match_index(2), 0u);
+}
+
+TEST(RaftCommit, NackRollsBackSentIndexAndResends)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.client_request("tx");
+  leader.emit_signature();
+  (void)leader.take_outbox();
+  EXPECT_EQ(leader.sent_index(2), 4u); // optimistic
+  leader.receive(2, AppendEntriesResponse{1, 2, false, 2});
+  auto out = leader.take_outbox();
+  const auto ae = first_out<AppendEntriesRequest>(out);
+  ASSERT_TRUE(ae.has_value());
+  EXPECT_EQ(ae->second.prev_idx, 2u); // catch-up from the estimate
+  EXPECT_EQ(ae->second.entries.size(), 2u);
+  EXPECT_EQ(leader.sent_index(2), 4u); // re-advanced by the resend
+}
+
+TEST(RaftCommit, AckBeyondKnownIsBounded)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  (void)leader.take_outbox();
+  // match_index grows monotonically from ACKs.
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 2});
+  EXPECT_EQ(leader.match_index(2), 2u);
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 1}); // stale, lower
+  EXPECT_EQ(leader.match_index(2), 2u); // still 2: max() rule
+}
+
+TEST(RaftStepDown, LeaderYieldsToHigherTerm)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.receive(2, AppendEntriesResponse{5, 2, false, 0});
+  EXPECT_EQ(leader.role(), Role::Follower);
+  EXPECT_EQ(leader.current_term(), 5u);
+}
+
+TEST(RaftCheckQuorum, LeaderStepsDownWithoutAcks)
+{
+  NodeConfig c = cfg(1);
+  c.check_quorum_interval = 10;
+  RaftNode leader(c, {1, 2, 3}, 1);
+  for (int i = 0; i < 25; ++i)
+  {
+    leader.tick();
+  }
+  EXPECT_EQ(leader.role(), Role::Follower);
+}
+
+TEST(RaftCheckQuorum, AcksKeepLeaderInPlace)
+{
+  NodeConfig c = cfg(1);
+  c.check_quorum_interval = 10;
+  RaftNode leader(c, {1, 2, 3}, 1);
+  for (int i = 0; i < 40; ++i)
+  {
+    leader.tick();
+    leader.receive(2, AppendEntriesResponse{1, 2, true, 2});
+  }
+  EXPECT_EQ(leader.role(), Role::Leader);
+}
+
+TEST(RaftCheckQuorum, DisabledWhenIntervalZero)
+{
+  NodeConfig c = cfg(1);
+  c.check_quorum_interval = 0;
+  RaftNode leader(c, {1, 2, 3}, 1);
+  for (int i = 0; i < 100; ++i)
+  {
+    leader.tick();
+  }
+  EXPECT_EQ(leader.role(), Role::Leader);
+}
+
+TEST(RaftStatus, LifecyclePendingCommittedInvalid)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  const auto txid = leader.client_request("tx");
+  ASSERT_TRUE(txid.has_value());
+  EXPECT_EQ(leader.status(*txid), TxStatus::Pending);
+  leader.emit_signature();
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 4});
+  EXPECT_EQ(leader.status(*txid), TxStatus::Committed);
+  // Property 2: an earlier tx in the same term is also committed.
+  EXPECT_EQ(leader.status(TxId{1, 2}), TxStatus::Committed);
+}
+
+TEST(RaftStatus, InvalidWhenSlotTakenByHigherTerm)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // Pending tx at (term 1, idx 3) from old leader.
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {data_entry(1, "x")}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.status(TxId{1, 3}), TxStatus::Pending);
+  // New-term leader overwrites idx 3.
+  n.receive(3, AppendEntriesRequest{2, 3, 2, 1, 2, {data_entry(2, "y")}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.status(TxId{1, 3}), TxStatus::Invalid);
+  EXPECT_EQ(n.status(TxId{2, 3}), TxStatus::Pending);
+}
+
+TEST(RaftStatus, UnknownBeyondLog)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  EXPECT_EQ(n.status(TxId{1, 99}), TxStatus::Unknown);
+  EXPECT_EQ(n.status(TxId{1, 0}), TxStatus::Unknown);
+}
+
+TEST(RaftStatus, CommittedDifferentTermIsInvalid)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  EXPECT_EQ(n.status(TxId{1, 1}), TxStatus::Committed);
+  EXPECT_EQ(n.status(TxId{2, 1}), TxStatus::Invalid);
+}
+
+TEST(RaftReconfig, ProposeAddsConfigEntry)
+{
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  const auto txid = leader.propose_reconfiguration({1, 2, 3, 4});
+  ASSERT_TRUE(txid.has_value());
+  EXPECT_EQ(leader.ledger().at(txid->index).type, EntryType::Reconfiguration);
+  EXPECT_EQ(
+    leader.ledger().at(txid->index).config, (std::vector<NodeId>{1, 2, 3, 4}));
+  // Both configurations are now active.
+  EXPECT_EQ(leader.configurations().active(leader.commit_index()).size(), 2u);
+}
+
+TEST(RaftReconfig, FollowerCannotPropose)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  EXPECT_FALSE(n.propose_reconfiguration({1, 2}).has_value());
+}
+
+TEST(RaftReconfig, JointQuorumNeededToCommit)
+{
+  // Shrink {1,2,3} -> {1}: commit needs majority of BOTH configs.
+  RaftNode leader(cfg(1), {1, 2, 3}, 1);
+  leader.propose_reconfiguration({1}); // idx 3
+  leader.emit_signature(); // idx 4
+  (void)leader.take_outbox();
+  // Majority of {1} alone (self) is not enough; need 2 of {1,2,3}.
+  EXPECT_EQ(leader.commit_index(), 2u);
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 4});
+  // Once the shrink commits, the leader appends retirement transactions
+  // for the removed nodes plus a signature and — now alone in the active
+  // configuration — commits them too.
+  EXPECT_GE(leader.commit_index(), 4u);
+  bool retired2 = false;
+  bool retired3 = false;
+  for (Index i = 1; i <= leader.commit_index(); ++i)
+  {
+    const Entry& e = leader.ledger().at(i);
+    if (e.type == EntryType::Retirement)
+    {
+      retired2 = retired2 || e.retiring_node == 2;
+      retired3 = retired3 || e.retiring_node == 3;
+    }
+  }
+  EXPECT_TRUE(retired2);
+  EXPECT_TRUE(retired3);
+}
+
+TEST(RaftReconfig, RemovedFollowerMembershipProgression)
+{
+  RaftNode n(cfg(3), {1, 2, 3}, 1);
+  EXPECT_EQ(n.membership(), MembershipState::Active);
+  // Removal ordered.
+  Entry reconfig;
+  reconfig.term = 1;
+  reconfig.type = EntryType::Reconfiguration;
+  reconfig.config = {1, 2};
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {reconfig}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.membership(), MembershipState::RetirementOrdered);
+  EXPECT_TRUE(n.participating());
+
+  // Removal commits (via signature + advancing commit).
+  Entry sig;
+  sig.term = 1;
+  sig.type = EntryType::Signature;
+  n.receive(1, AppendEntriesRequest{1, 1, 3, 1, 4, {sig}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.membership(), MembershipState::RetirementCommitted);
+  EXPECT_TRUE(n.participating()); // still answering until retirement commits
+
+  // Retirement transaction commits: node may switch off.
+  Entry retire;
+  retire.term = 1;
+  retire.type = EntryType::Retirement;
+  retire.retiring_node = 3;
+  Entry sig2 = sig;
+  n.receive(1, AppendEntriesRequest{1, 1, 4, 1, 6, {retire, sig2}});
+  (void)n.take_outbox();
+  EXPECT_EQ(n.membership(), MembershipState::RetirementCompleted);
+  EXPECT_EQ(n.role(), Role::Retired);
+  EXPECT_FALSE(n.participating());
+}
+
+TEST(RaftRetirement, RetiredNodeIsSilent)
+{
+  RaftNode n(cfg(3), {1, 2, 3}, 1);
+  Entry reconfig;
+  reconfig.term = 1;
+  reconfig.type = EntryType::Reconfiguration;
+  reconfig.config = {1, 2};
+  Entry sig;
+  sig.term = 1;
+  sig.type = EntryType::Signature;
+  Entry retire;
+  retire.term = 1;
+  retire.type = EntryType::Retirement;
+  retire.retiring_node = 3;
+  n.receive(1, AppendEntriesRequest{1, 1, 2, 1, 2, {reconfig, sig}});
+  (void)n.take_outbox();
+  n.receive(1, AppendEntriesRequest{1, 1, 4, 1, 6, {retire, sig}});
+  (void)n.take_outbox();
+  ASSERT_EQ(n.role(), Role::Retired);
+  // No responses to anything anymore.
+  n.receive(1, AppendEntriesRequest{1, 1, 6, 1, 6, {}});
+  n.receive(2, RequestVoteRequest{9, 2, 9, 9});
+  EXPECT_TRUE(n.take_outbox().empty());
+  // And no elections.
+  n.force_timeout();
+  EXPECT_EQ(n.role(), Role::Retired);
+}
+
+TEST(RaftProposeVote, RecipientStartsImmediateElection)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(1, ProposeRequestVote{1, 1});
+  EXPECT_EQ(n.role(), Role::Candidate);
+  EXPECT_EQ(n.current_term(), 2u);
+}
+
+TEST(RaftProposeVote, StaleProposalIgnored)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.receive(3, RequestVoteRequest{4, 3, 2, 1}); // term 4 now
+  (void)n.take_outbox();
+  n.receive(1, ProposeRequestVote{1, 1}); // from term 1: stale
+  EXPECT_EQ(n.role(), Role::Follower);
+}
+
+TEST(RaftTrace, EventsEmittedAtLinearizationPoints)
+{
+  std::vector<trace::TraceEvent> events;
+  RaftNode leader(cfg(1), {1, 2}, 1);
+  leader.set_trace_sink(
+    [&events](const trace::TraceEvent& e) { events.push_back(e); });
+  leader.client_request("x");
+  leader.emit_signature();
+  leader.receive(2, AppendEntriesResponse{1, 2, true, 4});
+
+  std::vector<trace::EventKind> kinds;
+  for (const auto& e : events)
+  {
+    kinds.push_back(e.kind);
+  }
+  EXPECT_NE(
+    std::find(kinds.begin(), kinds.end(), trace::EventKind::ClientRequest),
+    kinds.end());
+  EXPECT_NE(
+    std::find(kinds.begin(), kinds.end(), trace::EventKind::EmitSignature),
+    kinds.end());
+  EXPECT_NE(
+    std::find(kinds.begin(), kinds.end(), trace::EventKind::SendAppendEntries),
+    kinds.end());
+  EXPECT_NE(
+    std::find(kinds.begin(), kinds.end(), trace::EventKind::AdvanceCommit),
+    kinds.end());
+}
+
+TEST(RaftTrace, ClockCallbackStampsEvents)
+{
+  std::vector<trace::TraceEvent> events;
+  RaftNode n(cfg(1), {1, 2}, 1);
+  uint64_t clock = 42;
+  n.set_clock([&clock] { return clock; });
+  n.set_trace_sink(
+    [&events](const trace::TraceEvent& e) { events.push_back(e); });
+  n.client_request("x");
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().ts, 42u);
+}

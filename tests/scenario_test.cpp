@@ -1,0 +1,443 @@
+// Functional scenario tests (§6.1): deterministic multi-node scenarios
+// through the driver, exercising replication, elections, partitions,
+// CheckQuorum, reconfiguration and retirement under controlled fault
+// conditions, with the cross-node invariant checker run at designated
+// steps — the C++ analogue of the paper's 13 scenario tests.
+#include <gtest/gtest.h>
+
+#include "driver/cluster.h"
+#include "driver/invariants.h"
+
+using namespace scv;
+using namespace scv::driver;
+using consensus::EntryType;
+using consensus::MembershipState;
+using consensus::Role;
+using consensus::TxStatus;
+
+namespace
+{
+  ClusterOptions three_nodes(uint64_t seed = 1)
+  {
+    ClusterOptions o;
+    o.initial_config = {1, 2, 3};
+    o.initial_leader = 1;
+    o.seed = seed;
+    return o;
+  }
+
+  /// Runs the randomized scheduler until pred() holds; returns false on
+  /// timeout. Checks invariants after every iteration.
+  template <class Pred>
+  bool run_until(
+    Cluster& c, InvariantChecker& inv, Pred pred, uint64_t max_ticks = 600)
+  {
+    for (uint64_t i = 0; i < max_ticks; ++i)
+    {
+      if (pred())
+      {
+        return true;
+      }
+      c.tick_all();
+      c.drain();
+      EXPECT_TRUE(inv.check().empty());
+    }
+    return pred();
+  }
+}
+
+TEST(Scenario, ReplicationHappyPath)
+{
+  Cluster c(three_nodes());
+  InvariantChecker inv(c);
+  const auto txid = c.submit("hello");
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    for (const NodeId id : c.node_ids())
+    {
+      if (c.node(id).commit_index() < txid->index)
+      {
+        return false;
+      }
+    }
+    return true;
+  }));
+  // Every node applied the transaction to its KV store.
+  for (const NodeId id : c.node_ids())
+  {
+    EXPECT_EQ(
+      c.store(id).get("app." + std::to_string(txid->index)), "hello");
+  }
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(Scenario, MultipleTransactionsCommitInOrder)
+{
+  Cluster c(three_nodes());
+  InvariantChecker inv(c);
+  std::vector<consensus::TxId> ids;
+  for (int i = 0; i < 5; ++i)
+  {
+    const auto txid = c.submit("tx" + std::to_string(i));
+    ASSERT_TRUE(txid.has_value());
+    ids.push_back(*txid);
+  }
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).commit_index() > ids.back().index;
+  }));
+  for (size_t i = 1; i < ids.size(); ++i)
+  {
+    EXPECT_LT(ids[i - 1], ids[i]); // timestamp ordering
+  }
+  for (const auto& id : ids)
+  {
+    EXPECT_EQ(c.node(1).status(id), TxStatus::Committed);
+  }
+}
+
+TEST(Scenario, LeaderCrashTriggersElection)
+{
+  Cluster c(three_nodes(3));
+  InvariantChecker inv(c);
+  c.submit("pre-crash");
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] { return c.max_commit() >= 4; }));
+
+  c.crash(1);
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l.has_value() && *l != 1;
+  }));
+  // The new regime still commits.
+  const auto txid = c.submit("post-crash");
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l && c.node(*l).status(*txid) == TxStatus::Committed;
+  }));
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(Scenario, MinorityPartitionBlocksCommit)
+{
+  Cluster c(three_nodes());
+  InvariantChecker inv(c);
+  c.partition({1}, {2, 3}); // leader cut off
+  const auto txid = c.node(1).client_request("isolated");
+  ASSERT_TRUE(txid.has_value());
+  c.node(1).emit_signature();
+  for (int i = 0; i < 60; ++i)
+  {
+    c.tick_all();
+    c.drain();
+    EXPECT_TRUE(inv.check().empty());
+  }
+  // The isolated leader can never commit its transaction.
+  EXPECT_LT(c.node(1).commit_index(), txid->index);
+}
+
+TEST(Scenario, PartitionHealsAndLogConverges)
+{
+  Cluster c(three_nodes(5));
+  InvariantChecker inv(c);
+  c.partition({3}, {1, 2});
+  const auto txid = c.submit("during-partition");
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).status(*txid) == TxStatus::Committed;
+  }));
+  EXPECT_LT(c.node(3).commit_index(), txid->index);
+
+  c.heal();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(3).commit_index() >= txid->index;
+  }));
+  EXPECT_EQ(c.node(3).status(*txid), TxStatus::Committed);
+}
+
+TEST(Scenario, CheckQuorumLeaderStepsDownWhenCutOff)
+{
+  // Asymmetric partition: the leader can send heartbeats but receives
+  // nothing back — the exact liveness hazard CheckQuorum addresses (§2.1).
+  ClusterOptions o = three_nodes(7);
+  o.node_template.check_quorum_interval = 15;
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.network().links().block(2, 1);
+  c.network().links().block(3, 1);
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).role() != Role::Leader;
+  }));
+  // And the healthy majority elects a functioning leader.
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l.has_value() && *l != 1;
+  }));
+}
+
+TEST(Scenario, WithoutCheckQuorumCutOffLeaderLingers)
+{
+  ClusterOptions o = three_nodes(7);
+  o.node_template.check_quorum_interval = 0; // disabled
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.network().links().block(2, 1);
+  c.network().links().block(3, 1);
+  // The stale leader keeps believing it leads...
+  for (int i = 0; i < 80; ++i)
+  {
+    c.tick_all();
+    c.drain();
+    EXPECT_TRUE(inv.check().empty());
+  }
+  EXPECT_EQ(c.node(1).role(), Role::Leader);
+  // ...while a higher-term leader exists on the other side: the followers
+  // never time out because heartbeats still arrive. This is the documented
+  // Raft liveness loss under partial partitions [27, 32].
+  EXPECT_EQ(c.node(2).role(), Role::Follower);
+  EXPECT_EQ(c.node(3).role(), Role::Follower);
+}
+
+TEST(Scenario, GrowClusterTo5)
+{
+  Cluster c(three_nodes(9));
+  InvariantChecker inv(c);
+  c.add_node(4);
+  c.add_node(5);
+  const auto txid = c.reconfigure({1, 2, 3, 4, 5});
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).status(*txid) == TxStatus::Committed;
+  }));
+  // New nodes catch up fully.
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(4).commit_index() >= txid->index &&
+      c.node(5).commit_index() >= txid->index;
+  }));
+  // And a post-reconfig transaction needs the new quorum (3 of 5).
+  const auto tx2 = c.submit("after-grow");
+  ASSERT_TRUE(tx2.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).status(*tx2) == TxStatus::Committed;
+  }));
+}
+
+TEST(Scenario, RemoveFollowerRetiresCleanly)
+{
+  Cluster c(three_nodes(11));
+  InvariantChecker inv(c);
+  const auto txid = c.reconfigure({1, 2});
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(3).membership() == MembershipState::RetirementCompleted;
+  }));
+  EXPECT_EQ(c.node(3).role(), Role::Retired);
+  // The survivors keep committing.
+  const auto tx2 = c.submit("after-shrink");
+  ASSERT_TRUE(tx2.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).status(*tx2) == TxStatus::Committed;
+  }));
+  // Retirement is recorded in the governance map.
+  EXPECT_EQ(c.store(1).get("ccf.gov.nodes.retired.3"), "true");
+}
+
+TEST(Scenario, RemoveLeaderHandsOverViaProposeVote)
+{
+  Cluster c(three_nodes(13));
+  InvariantChecker inv(c);
+  const auto txid = c.reconfigure({2, 3}); // leader 1 removes itself
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).role() == Role::Retired;
+  }));
+  // A successor from the new configuration takes over.
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l.has_value() && (*l == 2 || *l == 3);
+  }));
+  const auto tx2 = c.submit("new-regime");
+  ASSERT_TRUE(tx2.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l && c.node(*l).status(*tx2) == TxStatus::Committed;
+  }));
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(Scenario, StaleLeaderTransactionsBecomeInvalid)
+{
+  ClusterOptions o = three_nodes(15);
+  o.node_template.check_quorum_interval = 0; // let the old leader linger
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.partition({1}, {2, 3});
+  // Old leader accepts a transaction it can never commit.
+  const auto stale = c.node(1).client_request("doomed");
+  ASSERT_TRUE(stale.has_value());
+  c.node(1).emit_signature();
+  EXPECT_EQ(c.node(1).status(*stale), TxStatus::Pending);
+
+  // Majority side elects a new leader and commits new transactions.
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l.has_value() && *l != 1;
+  }));
+  const auto fresh = c.submit("winner");
+  ASSERT_TRUE(fresh.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l && c.node(*l).status(*fresh) == TxStatus::Committed;
+  }));
+
+  // Heal: the old leader rejoins, rolls back, and the doomed transaction
+  // is observably INVALID on the new leader's timeline.
+  c.heal();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).commit_index() >= fresh->index;
+  }));
+  const auto l = c.find_leader();
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(c.node(*l).status(*stale), TxStatus::Invalid);
+  EXPECT_EQ(c.node(1).status(*stale), TxStatus::Invalid);
+}
+
+TEST(Scenario, LaggingFollowerCatchesUpInBatches)
+{
+  ClusterOptions o = three_nodes(17);
+  o.node_template.max_entries_per_ae = 3; // force multiple batches
+  Cluster c(o);
+  InvariantChecker inv(c);
+  c.partition({3}, {1, 2});
+  for (int i = 0; i < 12; ++i)
+  {
+    c.submit("bulk" + std::to_string(i));
+  }
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] { return c.node(1).commit_index() >= 15; }));
+  EXPECT_EQ(c.node(3).last_index(), 2u);
+  c.heal();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(3).commit_index() >= c.node(1).commit_index();
+  }));
+}
+
+TEST(Scenario, LossyLinksStillCommit)
+{
+  ClusterOptions o = three_nodes(19);
+  Cluster c(o);
+  c.network().links().set_default_faults({0.2, 0.0});
+  InvariantChecker inv(c);
+  const auto txid = c.submit("lossy");
+  ASSERT_TRUE(txid.has_value());
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    const auto l = c.find_leader();
+    return l && c.node(*l).status(*txid) == TxStatus::Committed;
+  }, 1500));
+}
+
+TEST(Scenario, DuplicatingLinksAreHarmless)
+{
+  ClusterOptions o = three_nodes(21);
+  Cluster c(o);
+  c.network().links().set_default_faults({0.0, 0.5});
+  InvariantChecker inv(c);
+  for (int i = 0; i < 4; ++i)
+  {
+    c.submit("dup" + std::to_string(i));
+  }
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] { return c.node(1).commit_index() >= 7; }));
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(Scenario, SignatureIntervalGovernsCommitGranularity)
+{
+  Cluster c(three_nodes(23));
+  InvariantChecker inv(c);
+  const auto t1 = c.submit("a");
+  const auto t2 = c.submit("b");
+  ASSERT_TRUE(t1 && t2);
+  // Without a signature nothing commits...
+  for (int i = 0; i < 40; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  EXPECT_EQ(c.node(1).commit_index(), 2u);
+  // ...one signature then commits both at once.
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    return c.node(1).status(*t2) == TxStatus::Committed;
+  }));
+  EXPECT_EQ(c.node(1).status(*t1), TxStatus::Committed);
+}
+
+TEST(Scenario, ReplicatedStoresConvergeToIdenticalState)
+{
+  // State machine replication end to end: after the cluster settles, the
+  // committed KV state is byte-identical on every node.
+  Cluster c(three_nodes(27));
+  InvariantChecker inv(c);
+  for (int i = 0; i < 6; ++i)
+  {
+    c.submit("value-" + std::to_string(i));
+    if (i % 2 == 1)
+    {
+      c.sign();
+    }
+  }
+  c.sign();
+  ASSERT_TRUE(run_until(c, inv, [&] {
+    Index max_c = 0;
+    Index min_c = UINT64_MAX;
+    for (const NodeId id : c.node_ids())
+    {
+      max_c = std::max(max_c, c.node(id).commit_index());
+      min_c = std::min(min_c, c.node(id).commit_index());
+    }
+    return max_c == min_c && max_c > 8;
+  }));
+  const auto keys = c.store(1).keys_with_prefix("");
+  EXPECT_GT(keys.size(), 6u);
+  for (const NodeId id : {NodeId(2), NodeId(3)})
+  {
+    EXPECT_EQ(c.store(id).keys_with_prefix(""), keys);
+    for (const auto& key : keys)
+    {
+      EXPECT_EQ(c.store(id).get(key), c.store(1).get(key)) << key;
+    }
+    EXPECT_EQ(c.store(id).commit_version(), c.store(1).commit_version());
+  }
+}
+
+TEST(Scenario, TraceIsCollectedAndOrdered)
+{
+  Cluster c(three_nodes(25));
+  c.submit("x");
+  c.sign();
+  for (int i = 0; i < 30; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  const auto& trace = c.trace();
+  ASSERT_GT(trace.size(), 20u);
+  // Global-clock timestamps are monotone in collection order.
+  for (size_t i = 1; i < trace.size(); ++i)
+  {
+    EXPECT_LE(trace[i - 1].ts, trace[i].ts);
+  }
+}

@@ -1,0 +1,153 @@
+// Tests for trace events: JSONL round-trips, preprocessing (bootstrap
+// stripping, §6.1), file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/event.h"
+#include "trace/preprocess.h"
+#include "trace/trace_io.h"
+
+using namespace scv;
+using namespace scv::trace;
+
+namespace
+{
+  TraceEvent sample_event()
+  {
+    TraceEvent e;
+    e.ts = 42;
+    e.kind = EventKind::SendAppendEntries;
+    e.node = 1;
+    e.peer = 2;
+    e.term = 3;
+    e.log_len = 7;
+    e.commit_idx = 5;
+    e.msg_term = 3;
+    e.prev_idx = 6;
+    e.prev_term = 2;
+    e.n_entries = 1;
+    e.last_idx = 5;
+    return e;
+  }
+}
+
+TEST(TraceEventJson, RoundTripAllFields)
+{
+  TraceEvent e = sample_event();
+  e.success = true;
+  e.config = {1, 2, 4};
+  const auto back = TraceEvent::from_jsonl(e.to_jsonl());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(TraceEventJson, DefaultsOmittedFromEncoding)
+{
+  TraceEvent e;
+  e.kind = EventKind::BecomeLeader;
+  e.node = 2;
+  e.term = 4;
+  const std::string line = e.to_jsonl();
+  EXPECT_EQ(line.find("peer"), std::string::npos);
+  EXPECT_EQ(line.find("success"), std::string::npos);
+  EXPECT_EQ(line.find("config"), std::string::npos);
+  const auto back = TraceEvent::from_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(TraceEventJson, EveryKindHasAStableName)
+{
+  for (int k = 0; k <= static_cast<int>(EventKind::Retire); ++k)
+  {
+    const auto kind = static_cast<EventKind>(k);
+    const std::string name = to_string(kind);
+    EXPECT_NE(name, "unknown");
+    const auto parsed = event_kind_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(TraceEventJson, RejectsUnknownKind)
+{
+  EXPECT_FALSE(
+    TraceEvent::from_jsonl(R"({"ts":1,"kind":"nonsense","node":1})")
+      .has_value());
+  EXPECT_FALSE(TraceEvent::from_jsonl("not json").has_value());
+  EXPECT_FALSE(TraceEvent::from_jsonl("[1,2]").has_value());
+}
+
+TEST(Preprocess, StripsBootstrapEvents)
+{
+  TraceEvent boot;
+  boot.kind = EventKind::Bootstrap;
+  std::vector<TraceEvent> events = {boot, sample_event(), boot};
+  PreprocessStats stats;
+  const auto out = preprocess(events, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, EventKind::SendAppendEntries);
+  EXPECT_EQ(stats.dropped_bootstrap, 2u);
+}
+
+TEST(Preprocess, DeduplicatesConsecutiveEvents)
+{
+  const TraceEvent e = sample_event();
+  PreprocessStats stats;
+  const auto out = preprocess({e, e, e}, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.dropped_duplicates, 2u);
+}
+
+TEST(Preprocess, KeepsNonConsecutiveDuplicates)
+{
+  TraceEvent a = sample_event();
+  TraceEvent b = sample_event();
+  b.node = 9;
+  const auto out = preprocess({a, b, a});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TraceIo, JsonlRoundTrip)
+{
+  std::vector<TraceEvent> events = {sample_event(), sample_event()};
+  events[1].kind = EventKind::AdvanceCommit;
+  events[1].ts = 43;
+  const std::string text = to_jsonl(events);
+  const auto back = from_jsonl(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, events);
+}
+
+TEST(TraceIo, SkipsBlankLinesReportsErrors)
+{
+  const auto ok = from_jsonl("\n" + sample_event().to_jsonl() + "\n\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->size(), 1u);
+
+  size_t error_line = 0;
+  const auto bad =
+    from_jsonl(sample_event().to_jsonl() + "\ngarbage\n", &error_line);
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(error_line, 2u);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+  const std::string path =
+    (std::filesystem::temp_directory_path() / "scv_trace_test.jsonl")
+      .string();
+  std::vector<TraceEvent> events = {sample_event()};
+  ASSERT_TRUE(write_file(path, events));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, events);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsNothing)
+{
+  EXPECT_FALSE(read_file("/nonexistent/trace.jsonl").has_value());
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchup_ablation.dir/catchup_ablation.cpp.o"
+  "CMakeFiles/catchup_ablation.dir/catchup_ablation.cpp.o.d"
+  "catchup_ablation"
+  "catchup_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchup_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_vs_bfs.dir/dfs_vs_bfs.cpp.o"
+  "CMakeFiles/dfs_vs_bfs.dir/dfs_vs_bfs.cpp.o.d"
+  "dfs_vs_bfs"
+  "dfs_vs_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_vs_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ro_linearizability.dir/ro_linearizability.cpp.o"
+  "CMakeFiles/ro_linearizability.dir/ro_linearizability.cpp.o.d"
+  "ro_linearizability"
+  "ro_linearizability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ro_linearizability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_weighting.dir/sim_weighting.cpp.o"
+  "CMakeFiles/sim_weighting.dir/sim_weighting.cpp.o.d"
+  "sim_weighting"
+  "sim_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

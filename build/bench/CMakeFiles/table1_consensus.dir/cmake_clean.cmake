@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_consensus.dir/table1_consensus.cpp.o"
+  "CMakeFiles/table1_consensus.dir/table1_consensus.cpp.o.d"
+  "table1_consensus"
+  "table1_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

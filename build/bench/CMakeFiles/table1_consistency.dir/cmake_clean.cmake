@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_consistency.dir/table1_consistency.cpp.o"
+  "CMakeFiles/table1_consistency.dir/table1_consistency.cpp.o.d"
+  "table1_consistency"
+  "table1_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

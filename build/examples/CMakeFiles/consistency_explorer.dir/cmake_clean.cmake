@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_explorer.dir/consistency_explorer.cpp.o"
+  "CMakeFiles/consistency_explorer.dir/consistency_explorer.cpp.o.d"
+  "consistency_explorer"
+  "consistency_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

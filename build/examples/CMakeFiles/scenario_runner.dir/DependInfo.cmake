@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scenario_runner.cpp" "examples/CMakeFiles/scenario_runner.dir/scenario_runner.cpp.o" "gcc" "examples/CMakeFiles/scenario_runner.dir/scenario_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/scv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/scv_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/scv_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/scv_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/scv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/consistency/CMakeFiles/scv_spec_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace_validation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_validate_demo.dir/trace_validate_demo.cpp.o"
+  "CMakeFiles/trace_validate_demo.dir/trace_validate_demo.cpp.o.d"
+  "trace_validate_demo"
+  "trace_validate_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_validate_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

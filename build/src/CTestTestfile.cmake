@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("net")
+subdirs("kv")
+subdirs("consensus")
+subdirs("driver")
+subdirs("spec")
+subdirs("specs/consensus")
+subdirs("specs/consistency")
+subdirs("trace")

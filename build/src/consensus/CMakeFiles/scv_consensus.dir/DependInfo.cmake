@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/configuration.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/configuration.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/configuration.cpp.o.d"
+  "/root/repo/src/consensus/ledger.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/ledger.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/ledger.cpp.o.d"
+  "/root/repo/src/consensus/messages.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/messages.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/messages.cpp.o.d"
+  "/root/repo/src/consensus/raft_node.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/raft_node.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/raft_node.cpp.o.d"
+  "/root/repo/src/consensus/receipt.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/receipt.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/receipt.cpp.o.d"
+  "/root/repo/src/consensus/types.cpp" "src/consensus/CMakeFiles/scv_consensus.dir/types.cpp.o" "gcc" "src/consensus/CMakeFiles/scv_consensus.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/scv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_consensus.dir/configuration.cpp.o"
+  "CMakeFiles/scv_consensus.dir/configuration.cpp.o.d"
+  "CMakeFiles/scv_consensus.dir/ledger.cpp.o"
+  "CMakeFiles/scv_consensus.dir/ledger.cpp.o.d"
+  "CMakeFiles/scv_consensus.dir/messages.cpp.o"
+  "CMakeFiles/scv_consensus.dir/messages.cpp.o.d"
+  "CMakeFiles/scv_consensus.dir/raft_node.cpp.o"
+  "CMakeFiles/scv_consensus.dir/raft_node.cpp.o.d"
+  "CMakeFiles/scv_consensus.dir/receipt.cpp.o"
+  "CMakeFiles/scv_consensus.dir/receipt.cpp.o.d"
+  "CMakeFiles/scv_consensus.dir/types.cpp.o"
+  "CMakeFiles/scv_consensus.dir/types.cpp.o.d"
+  "libscv_consensus.a"
+  "libscv_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

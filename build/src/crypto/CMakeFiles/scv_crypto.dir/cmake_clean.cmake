@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/scv_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/scv_crypto.dir/merkle_tree.cpp.o"
+  "CMakeFiles/scv_crypto.dir/merkle_tree.cpp.o.d"
+  "CMakeFiles/scv_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/scv_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/scv_crypto.dir/signer.cpp.o"
+  "CMakeFiles/scv_crypto.dir/signer.cpp.o.d"
+  "libscv_crypto.a"
+  "libscv_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_driver.dir/client.cpp.o"
+  "CMakeFiles/scv_driver.dir/client.cpp.o.d"
+  "CMakeFiles/scv_driver.dir/cluster.cpp.o"
+  "CMakeFiles/scv_driver.dir/cluster.cpp.o.d"
+  "CMakeFiles/scv_driver.dir/invariants.cpp.o"
+  "CMakeFiles/scv_driver.dir/invariants.cpp.o.d"
+  "CMakeFiles/scv_driver.dir/scenario.cpp.o"
+  "CMakeFiles/scv_driver.dir/scenario.cpp.o.d"
+  "libscv_driver.a"
+  "libscv_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

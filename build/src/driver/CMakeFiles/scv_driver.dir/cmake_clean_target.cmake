@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscv_driver.a"
+)

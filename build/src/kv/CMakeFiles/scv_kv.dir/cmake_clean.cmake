@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_kv.dir/store.cpp.o"
+  "CMakeFiles/scv_kv.dir/store.cpp.o.d"
+  "libscv_kv.a"
+  "libscv_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

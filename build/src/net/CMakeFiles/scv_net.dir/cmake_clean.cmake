@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_net.dir/link_filter.cpp.o"
+  "CMakeFiles/scv_net.dir/link_filter.cpp.o.d"
+  "libscv_net.a"
+  "libscv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_spec.dir/stats.cpp.o"
+  "CMakeFiles/scv_spec.dir/stats.cpp.o.d"
+  "libscv_spec.a"
+  "libscv_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specs/consensus/invariants.cpp" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/invariants.cpp.o" "gcc" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/invariants.cpp.o.d"
+  "/root/repo/src/specs/consensus/spec.cpp" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/spec.cpp.o" "gcc" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/spec.cpp.o.d"
+  "/root/repo/src/specs/consensus/spec_types.cpp" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/spec_types.cpp.o" "gcc" "src/specs/consensus/CMakeFiles/scv_spec_consensus.dir/spec_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/scv_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/scv_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/scv_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

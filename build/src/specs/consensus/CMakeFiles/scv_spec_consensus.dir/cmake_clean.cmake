@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_spec_consensus.dir/invariants.cpp.o"
+  "CMakeFiles/scv_spec_consensus.dir/invariants.cpp.o.d"
+  "CMakeFiles/scv_spec_consensus.dir/spec.cpp.o"
+  "CMakeFiles/scv_spec_consensus.dir/spec.cpp.o.d"
+  "CMakeFiles/scv_spec_consensus.dir/spec_types.cpp.o"
+  "CMakeFiles/scv_spec_consensus.dir/spec_types.cpp.o.d"
+  "libscv_spec_consensus.a"
+  "libscv_spec_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_spec_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

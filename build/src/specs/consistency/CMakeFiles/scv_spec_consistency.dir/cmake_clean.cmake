@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_spec_consistency.dir/spec.cpp.o"
+  "CMakeFiles/scv_spec_consistency.dir/spec.cpp.o.d"
+  "libscv_spec_consistency.a"
+  "libscv_spec_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_spec_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_trace.dir/event.cpp.o"
+  "CMakeFiles/scv_trace.dir/event.cpp.o.d"
+  "CMakeFiles/scv_trace.dir/preprocess.cpp.o"
+  "CMakeFiles/scv_trace.dir/preprocess.cpp.o.d"
+  "CMakeFiles/scv_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/scv_trace.dir/trace_io.cpp.o.d"
+  "libscv_trace.a"
+  "libscv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_trace_validation.dir/consensus_binding.cpp.o"
+  "CMakeFiles/scv_trace_validation.dir/consensus_binding.cpp.o.d"
+  "CMakeFiles/scv_trace_validation.dir/consistency_binding.cpp.o"
+  "CMakeFiles/scv_trace_validation.dir/consistency_binding.cpp.o.d"
+  "libscv_trace_validation.a"
+  "libscv_trace_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_trace_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

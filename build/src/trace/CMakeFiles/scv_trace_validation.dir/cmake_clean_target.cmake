@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscv_trace_validation.a"
+)

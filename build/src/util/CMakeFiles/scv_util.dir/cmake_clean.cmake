@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scv_util.dir/hex.cpp.o"
+  "CMakeFiles/scv_util.dir/hex.cpp.o.d"
+  "CMakeFiles/scv_util.dir/json.cpp.o"
+  "CMakeFiles/scv_util.dir/json.cpp.o.d"
+  "CMakeFiles/scv_util.dir/strings.cpp.o"
+  "CMakeFiles/scv_util.dir/strings.cpp.o.d"
+  "libscv_util.a"
+  "libscv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_spec_test.dir/consistency_spec_test.cpp.o"
+  "CMakeFiles/consistency_spec_test.dir/consistency_spec_test.cpp.o.d"
+  "consistency_spec_test"
+  "consistency_spec_test.pdb"
+  "consistency_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_validation_test.dir/consistency_validation_test.cpp.o"
+  "CMakeFiles/consistency_validation_test.dir/consistency_validation_test.cpp.o.d"
+  "consistency_validation_test"
+  "consistency_validation_test.pdb"
+  "consistency_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

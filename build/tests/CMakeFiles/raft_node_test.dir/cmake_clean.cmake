@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_node_test.dir/raft_node_test.cpp.o"
+  "CMakeFiles/raft_node_test.dir/raft_node_test.cpp.o.d"
+  "raft_node_test"
+  "raft_node_test.pdb"
+  "raft_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receipt_test.dir/receipt_test.cpp.o"
+  "CMakeFiles/receipt_test.dir/receipt_test.cpp.o.d"
+  "receipt_test"
+  "receipt_test.pdb"
+  "receipt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receipt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

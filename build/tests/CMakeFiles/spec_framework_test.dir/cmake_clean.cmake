@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_framework_test.dir/spec_framework_test.cpp.o"
+  "CMakeFiles/spec_framework_test.dir/spec_framework_test.cpp.o.d"
+  "spec_framework_test"
+  "spec_framework_test.pdb"
+  "spec_framework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

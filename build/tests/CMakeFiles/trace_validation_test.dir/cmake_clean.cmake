@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_validation_test.dir/trace_validation_test.cpp.o"
+  "CMakeFiles/trace_validation_test.dir/trace_validation_test.cpp.o.d"
+  "trace_validation_test"
+  "trace_validation_test.pdb"
+  "trace_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/raft_node_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/bugs_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_framework_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/receipt_test[1]_include.cmake")

@@ -1,14 +1,20 @@
 // Shared helpers for the table-reproduction harnesses: wall-clock timing,
 // LoC counting (Table 1 compares spec size against implementation size),
-// and aligned table printing.
+// aligned table printing, and machine-readable BENCH_<name>.json emission
+// so the perf trajectory (states/s at each worker count) is tracked across
+// PRs.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "util/json.h"
 
 namespace scv::bench
 {
@@ -87,4 +93,81 @@ namespace scv::bench
     }
     std::putchar('\n');
   }
+
+  /// Worker counts to sweep in scaling benches: 1, 2, 4 and the machine's
+  /// hardware concurrency (deduplicated, ascending).
+  inline std::vector<unsigned> thread_sweep()
+  {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> sweep;
+    for (const unsigned t : {1u, 2u, 4u, hw})
+    {
+      if (t <= std::max(4u, hw) &&
+          std::find(sweep.begin(), sweep.end(), t) == sweep.end())
+      {
+        sweep.push_back(t);
+      }
+    }
+    std::sort(sweep.begin(), sweep.end());
+    return sweep;
+  }
+
+  /// Accumulates one bench's runs and writes BENCH_<name>.json in the
+  /// working directory. Schema:
+  ///   {
+  ///     "bench": "<name>", "hardware_threads": H,
+  ///     "runs": [{"label": ..., "threads": T, "states_per_s": ...,
+  ///               "distinct_states": ..., "seconds": ...}, ...],
+  ///     ...extra scalar fields...
+  ///   }
+  class BenchReport
+  {
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    void add_run(
+      const std::string& label,
+      unsigned threads,
+      double states_per_s,
+      uint64_t distinct_states,
+      double seconds)
+    {
+      runs_.push_back(scv::json::object(
+        {{"label", label},
+         {"threads", static_cast<uint64_t>(threads)},
+         {"states_per_s", states_per_s},
+         {"distinct_states", distinct_states},
+         {"seconds", seconds}}));
+    }
+
+    void add_field(const std::string& key, scv::json::Value value)
+    {
+      extra_.emplace_back(key, std::move(value));
+    }
+
+    /// Writes BENCH_<name>.json; prints the path so runs are discoverable.
+    void write() const
+    {
+      scv::json::Object payload;
+      payload.emplace_back("bench", name_);
+      payload.emplace_back(
+        "hardware_threads",
+        static_cast<uint64_t>(
+          std::max(1u, std::thread::hardware_concurrency())));
+      payload.emplace_back("runs", runs_);
+      for (const auto& [key, value] : extra_)
+      {
+        payload.emplace_back(key, value);
+      }
+      const std::string path = "BENCH_" + name_ + ".json";
+      std::ofstream out(path);
+      out << scv::json::Value(payload).dump() << "\n";
+      std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    std::string name_;
+    scv::json::Array runs_;
+    scv::json::Object extra_;
+  };
 }

@@ -8,7 +8,10 @@
 // We sweep the per-line fault budget (composed drop/duplicate steps, the
 // IsFault · Next of Listing 5): each extra fault multiplies the BFS
 // frontier while DFS keeps finding its single witness.
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "driver/cluster.h"
@@ -60,6 +63,8 @@ int main()
     "seconds");
   print_rule(64);
 
+  BenchReport report("dfs_vs_bfs");
+
   for (const size_t faults : {0, 1, 2})
   {
     for (const auto mode : {spec::SearchMode::Dfs, spec::SearchMode::Bfs})
@@ -80,8 +85,64 @@ int main()
         static_cast<unsigned long long>(r.states_explored),
         secs,
         secs >= 59.0 ? "  (hit 60s budget)" : "");
+      report.add_run(
+        std::string(mode == spec::SearchMode::Dfs ? "dfs" : "bfs") +
+          "_faults" + std::to_string(faults),
+        1,
+        secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
+        r.states_explored,
+        secs);
     }
   }
+
+  // Trace validations are embarrassingly parallel across traces (the paper
+  // validates every CI run's trace); measure aggregate DFS validation
+  // throughput with T concurrent validations of the same trace.
+  std::printf("\nConcurrent DFS validations (1 per worker, faults/line=1):\n");
+  const auto events = c.trace();
+  for (const unsigned threads : thread_sweep())
+  {
+    std::atomic<uint64_t> total_states{0};
+    std::atomic<bool> all_ok{true};
+    Stopwatch sw;
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < threads; ++w)
+    {
+      pool.emplace_back([&] {
+        trace::ConsensusValidationOptions options;
+        options.search.mode = spec::SearchMode::Dfs;
+        options.search.max_faults_per_step = 1;
+        options.search.time_budget_seconds = 60.0;
+        options.fault_composition = true;
+        const auto r = trace::validate_consensus_trace(events, params, options);
+        total_states.fetch_add(r.states_explored, std::memory_order_relaxed);
+        if (!r.ok)
+        {
+          all_ok.store(false, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : pool)
+    {
+      t.join();
+    }
+    const double secs = sw.seconds();
+    const uint64_t states = total_states.load();
+    std::printf(
+      "  threads=%-2u %u validations in %.3fs (%s states/s aggregate)%s\n",
+      threads,
+      threads,
+      secs,
+      magnitude(secs > 0 ? static_cast<double>(states) / secs : 0.0).c_str(),
+      all_ok.load() ? "" : "  ** INVALID **");
+    report.add_run(
+      "concurrent_dfs_validation",
+      threads,
+      secs > 0 ? static_cast<double>(states) / secs : 0.0,
+      states,
+      secs);
+  }
+  report.write();
 
   std::printf(
     "\nShape check (paper): DFS validates in (well) under a second at every\n"

@@ -122,12 +122,17 @@ int main()
     {"Q-learning (H=coarse)", 1.0, spec::WeightingMode::QLearning, true},
   };
 
+  BenchReport report("sim_weighting");
+
   for (const auto& cfg : configs)
   {
     Coverage total;
+    double seconds = 0;
     for (const uint64_t seed : {11ull, 12ull, 13ull})
     {
+      Stopwatch sw;
       const Coverage c = run(cfg.weight, cfg.mode, seed, cfg.coarse);
+      seconds += sw.seconds();
       total.behaviors += c.behaviors;
       total.distinct += c.distinct;
       total.max_commit = std::max(total.max_commit, c.max_commit);
@@ -140,7 +145,53 @@ int main()
       static_cast<unsigned long long>(total.distinct),
       total.max_commit,
       static_cast<unsigned long long>(total.progressed_states));
+    report.add_run(
+      cfg.name,
+      1,
+      seconds > 0 ? static_cast<double>(total.distinct) / seconds : 0.0,
+      total.distinct,
+      seconds);
   }
+
+  // Multi-worker simulation: independent seeded walks per worker on the
+  // failure-weight-0.2 config, merged coverage (see ParallelSimulator).
+  std::printf("\nParallel simulation (failure weight 0.2, 5s budget):\n");
+  {
+    Params p;
+    p.n_nodes = 3;
+    p.max_term = 6;
+    p.max_requests = 4;
+    p.max_log_len = 12;
+    p.max_batch = 3;
+    p.max_network = 8;
+    p.max_copies = 2;
+    p.failure_weight = 0.2;
+    const auto spec = build_spec(p);
+    for (const unsigned threads : thread_sweep())
+    {
+      spec::SimOptions options;
+      options.seed = 11;
+      options.max_depth = 70;
+      options.time_budget_seconds = 5.0;
+      options.mode = spec::WeightingMode::Static;
+      options.threads = threads;
+      const auto result = spec::simulate(spec, options);
+      std::printf(
+        "  threads=%-2u behaviors=%-8llu distinct=%-8llu (%s states/min)%s\n",
+        threads,
+        static_cast<unsigned long long>(result.behaviors),
+        static_cast<unsigned long long>(result.stats.distinct_states),
+        magnitude(result.stats.states_per_minute()).c_str(),
+        result.ok ? "" : "  ** VIOLATION **");
+      report.add_run(
+        "parallel_sim_weight0.2",
+        threads,
+        result.stats.states_per_minute() / 60.0,
+        result.stats.distinct_states,
+        result.stats.seconds);
+    }
+  }
+  report.write();
 
   std::printf(
     "\nShape check (paper): down-weighting failure actions yields walks\n"

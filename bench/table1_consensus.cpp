@@ -123,50 +123,87 @@ int main()
   }
 
   // --- Model checking ------------------------------------------------------
+  // The paper's TLC throughput is multi-worker; sweep worker counts and
+  // report states/s per tier so the scaling trajectory is tracked.
+  BenchReport report("table1_consensus");
   {
     const auto spec = specs::ccfraft::build_spec(mc_model());
-    spec::CheckLimits limits;
-    limits.time_budget_seconds = 15.0;
-    limits.max_distinct_states = 20'000'000;
-    Stopwatch sw;
-    const auto result = spec::model_check(spec, limits);
-    Row r;
-    r.item = "  Model checking";
-    r.loc = 0;
-    r.states_per_min = result.stats.states_per_minute();
-    r.total_states = static_cast<double>(result.stats.distinct_states);
-    r.paper_rate = "1e+06";
-    r.paper_total = "1e+08";
-    rows.push_back(r);
-    std::printf(
-      "model checking: %s%s\n",
-      result.stats.summary().c_str(),
-      result.ok ? "" : "  ** VIOLATION **");
-    std::printf(
-      "action coverage (transitions per action):\n%s",
-      result.stats.coverage_report().c_str());
+    std::printf("model checking (worker sweep):\n");
+    bool first = true;
+    for (const unsigned threads : thread_sweep())
+    {
+      spec::CheckLimits limits;
+      limits.time_budget_seconds = 15.0;
+      limits.max_distinct_states = 20'000'000;
+      limits.threads = threads;
+      const auto result = spec::model_check(spec, limits);
+      const double per_s = result.stats.states_per_minute() / 60.0;
+      std::printf(
+        "  threads=%-2u %s%s\n",
+        threads,
+        result.stats.summary().c_str(),
+        result.ok ? "" : "  ** VIOLATION **");
+      report.add_run(
+        "model_checking",
+        threads,
+        per_s,
+        result.stats.distinct_states,
+        result.stats.seconds);
+      if (first)
+      {
+        first = false;
+        Row r;
+        r.item = "  Model checking";
+        r.loc = 0;
+        r.states_per_min = result.stats.states_per_minute();
+        r.total_states = static_cast<double>(result.stats.distinct_states);
+        r.paper_rate = "1e+06";
+        r.paper_total = "1e+08";
+        rows.push_back(r);
+        std::printf(
+          "action coverage (transitions per action):\n%s",
+          result.stats.coverage_report().c_str());
+      }
+    }
   }
 
   // --- Simulation ----------------------------------------------------------
   {
     const auto spec = specs::ccfraft::build_spec(sim_model());
-    spec::SimOptions options;
-    options.seed = 7;
-    options.max_depth = 80;
-    options.time_budget_seconds = 10.0;
-    const auto result = spec::simulate(spec, options);
-    Row r;
-    r.item = "  Simulation";
-    r.states_per_min = result.stats.states_per_minute();
-    r.total_states = static_cast<double>(result.stats.distinct_states);
-    r.paper_rate = "1e+06";
-    r.paper_total = "1e+08";
-    rows.push_back(r);
-    std::printf(
-      "simulation: %s behaviors=%llu%s\n",
-      result.stats.summary().c_str(),
-      static_cast<unsigned long long>(result.behaviors),
-      result.ok ? "" : "  ** VIOLATION **");
+    std::printf("simulation (worker sweep):\n");
+    bool first = true;
+    for (const unsigned threads : thread_sweep())
+    {
+      spec::SimOptions options;
+      options.seed = 7;
+      options.max_depth = 80;
+      options.time_budget_seconds = 10.0;
+      options.threads = threads;
+      const auto result = spec::simulate(spec, options);
+      std::printf(
+        "  threads=%-2u %s behaviors=%llu%s\n",
+        threads,
+        result.stats.summary().c_str(),
+        static_cast<unsigned long long>(result.behaviors),
+        result.ok ? "" : "  ** VIOLATION **");
+      report.add_run(
+        "simulation",
+        threads,
+        result.stats.states_per_minute() / 60.0,
+        result.stats.distinct_states,
+        result.stats.seconds);
+      if (first)
+      {
+        first = false;
+        Row r;
+        r.item = "  Simulation";
+        r.states_per_min = result.stats.states_per_minute();
+        r.total_states = static_cast<double>(result.stats.distinct_states);
+        r.paper_rate = "1e+06";
+        r.paper_total = "1e+08";
+        rows.push_back(r);
+      }
+    }
   }
 
   // --- Trace validation ----------------------------------------------------
@@ -358,6 +395,7 @@ int main()
 
   std::printf("\n");
   print_rows(rows);
+  report.write();
   std::printf(
     "\nShape check (paper): verification explores orders of magnitude more\n"
     "states per minute than functional/end-to-end testing of the\n"

@@ -27,6 +27,8 @@ int main()
     "               (paper: 375 LoC, 2 vars)\n\n",
     spec_loc);
 
+  BenchReport report("table1_consistency");
+
   // --- Model checking -------------------------------------------------------
   {
     Params p;
@@ -35,17 +37,37 @@ int main()
     p.max_branches = 3;
     p.include_observed_ro = false;
     const auto spec = build_spec(p);
-    spec::CheckLimits limits;
-    limits.time_budget_seconds = 60.0;
-    const auto result = spec::model_check(spec, limits);
-    std::printf(
-      "Model checking : %s%s\n"
-      "                 measured %s states/min, %s distinct"
-      "  (paper: 1e+06 /min, 1e+05 total)\n\n",
-      result.stats.summary().c_str(),
-      result.ok ? "" : "  ** VIOLATION **",
-      magnitude(result.stats.states_per_minute()).c_str(),
-      magnitude(static_cast<double>(result.stats.distinct_states)).c_str());
+    for (const unsigned threads : thread_sweep())
+    {
+      spec::CheckLimits limits;
+      limits.time_budget_seconds = 60.0;
+      limits.threads = threads;
+      const auto result = spec::model_check(spec, limits);
+      report.add_run(
+        "model_checking",
+        threads,
+        result.stats.states_per_minute() / 60.0,
+        result.stats.distinct_states,
+        result.stats.seconds);
+      if (threads == 1)
+      {
+        std::printf(
+          "Model checking : %s%s\n"
+          "                 measured %s states/min, %s distinct"
+          "  (paper: 1e+06 /min, 1e+05 total)\n\n",
+          result.stats.summary().c_str(),
+          result.ok ? "" : "  ** VIOLATION **",
+          magnitude(result.stats.states_per_minute()).c_str(),
+          magnitude(static_cast<double>(result.stats.distinct_states)).c_str());
+      }
+      else
+      {
+        std::printf(
+          "  (threads=%u: %s states/min)\n",
+          threads,
+          magnitude(result.stats.states_per_minute()).c_str());
+      }
+    }
   }
 
   // --- Simulation -----------------------------------------------------------
@@ -56,18 +78,39 @@ int main()
     p.max_branches = 3;
     p.include_observed_ro = false;
     const auto spec = build_spec(p);
-    spec::SimOptions options;
-    options.seed = 5;
-    options.max_depth = 50;
-    options.time_budget_seconds = 10.0;
-    const auto result = spec::simulate(spec, options);
-    std::printf(
-      "Simulation     : %s behaviors=%llu%s\n"
-      "                 measured %s states/min  (paper: 1e+05 /min)\n",
-      result.stats.summary().c_str(),
-      static_cast<unsigned long long>(result.behaviors),
-      result.ok ? "" : "  ** VIOLATION **",
-      magnitude(result.stats.states_per_minute()).c_str());
+    for (const unsigned threads : thread_sweep())
+    {
+      spec::SimOptions options;
+      options.seed = 5;
+      options.max_depth = 50;
+      options.time_budget_seconds = 10.0;
+      options.threads = threads;
+      const auto result = spec::simulate(spec, options);
+      report.add_run(
+        "simulation",
+        threads,
+        result.stats.states_per_minute() / 60.0,
+        result.stats.distinct_states,
+        result.stats.seconds);
+      if (threads == 1)
+      {
+        std::printf(
+          "Simulation     : %s behaviors=%llu%s\n"
+          "                 measured %s states/min  (paper: 1e+05 /min)\n",
+          result.stats.summary().c_str(),
+          static_cast<unsigned long long>(result.behaviors),
+          result.ok ? "" : "  ** VIOLATION **",
+          magnitude(result.stats.states_per_minute()).c_str());
+      }
+      else
+      {
+        std::printf(
+          "  (threads=%u: %s states/min)\n",
+          threads,
+          magnitude(result.stats.states_per_minute()).c_str());
+      }
+    }
   }
+  report.write();
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: build + test the Release configuration, then rebuild with
+# ThreadSanitizer (-DSCV_SANITIZE=thread) and re-run the suite so data
+# races in the parallel checker/simulator fail the build.
+#
+# Usage: ci/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_variant() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== test ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_variant build-release
+run_variant build-tsan -DSCV_SANITIZE=thread
+
+echo "=== ci/check.sh: all variants passed ==="

@@ -5,7 +5,10 @@
 // counterexample the paper publishes for "non-linearizability of read-only
 // transactions".
 //
-//   ./consistency_explorer [max_rw] [max_ro] [max_branches]
+//   ./consistency_explorer [max_rw] [max_ro] [max_branches] [threads]
+//
+// threads > 1 runs the parallel checker (0 = hardware concurrency); the
+// result is the same either way, only the wall-clock changes.
 #include <cstdio>
 #include <cstdlib>
 
@@ -21,12 +24,16 @@ int main(int argc, char** argv)
   p.max_rw_txs = argc > 1 ? static_cast<uint8_t>(std::atoi(argv[1])) : 2;
   p.max_ro_txs = argc > 2 ? static_cast<uint8_t>(std::atoi(argv[2])) : 1;
   p.max_branches = argc > 3 ? static_cast<uint8_t>(std::atoi(argv[3])) : 2;
+  const unsigned threads =
+    argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
 
   std::printf(
-    "model: up to %d rw txs, %d ro txs, %d log branches\n\n",
+    "model: up to %d rw txs, %d ro txs, %d log branches (%u worker%s)\n\n",
     p.max_rw_txs,
     p.max_ro_txs,
-    p.max_branches);
+    p.max_branches,
+    spec::resolve_worker_count(threads),
+    spec::resolve_worker_count(threads) == 1 ? "" : "s");
 
   // 1. The guaranteed properties hold exhaustively.
   p.include_observed_ro = false;
@@ -34,6 +41,7 @@ int main(int argc, char** argv)
     const auto spec = build_spec(p);
     spec::CheckLimits limits;
     limits.time_budget_seconds = 120.0;
+    limits.threads = threads;
     const auto result = spec::model_check(spec, limits);
     std::printf("guaranteed properties (");
     for (size_t i = 0; i < spec.invariants.size(); ++i)
@@ -54,7 +62,9 @@ int main(int argc, char** argv)
   // 2. Linearizability of read-only transactions does NOT hold.
   p.include_observed_ro = true;
   {
-    const auto result = spec::model_check(build_spec(p));
+    spec::CheckLimits limits;
+    limits.threads = threads;
+    const auto result = spec::model_check(build_spec(p), limits);
     if (result.ok)
     {
       std::printf("ObservedRoInv unexpectedly held\n");

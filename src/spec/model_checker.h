@@ -6,13 +6,22 @@
 // walking the predecessor graph, so a violation comes with the shortest
 // action sequence that reaches it — the same workflow the paper describes
 // for translating spec counterexamples into functional tests (§7).
+//
+// Two engines share this interface:
+//   * ModelChecker — strictly sequential FIFO BFS (this file). The
+//     reference semantics: deterministic traversal order, shortest
+//     counterexamples.
+//   * ParallelModelChecker (parallel_model_checker.h) — frontier-batched
+//     BFS over a worker pool and a sharded fingerprint store; TLC's
+//     multi-worker exploration model. `model_check()` dispatches on
+//     CheckLimits::threads; threads=1 reproduces the sequential engine's
+//     results exactly.
 #pragma once
 
 #include <chrono>
-#include <deque>
 #include <optional>
-#include <unordered_map>
 
+#include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
 
@@ -23,6 +32,10 @@ namespace scv::spec
     uint64_t max_distinct_states = UINT64_MAX;
     uint64_t max_depth = UINT64_MAX;
     double time_budget_seconds = 1e18;
+    /// Worker threads for exploration. 1 = the sequential engine
+    /// (deterministic reference semantics); 0 = one worker per hardware
+    /// thread; N>1 = parallel frontier-batched BFS with N workers.
+    unsigned threads = 1;
   };
 
   template <SpecState S>
@@ -39,7 +52,8 @@ namespace scv::spec
   public:
     explicit ModelChecker(const SpecDef<S>& spec, CheckLimits limits = {}) :
       spec_(spec),
-      limits_(limits)
+      limits_(limits),
+      store_(1)
     {}
 
     CheckResult<S> run()
@@ -47,15 +61,16 @@ namespace scv::spec
       const auto started = std::chrono::steady_clock::now();
       CheckResult<S> result;
 
-      records_.clear();
-      index_.clear();
+      store_.clear();
 
       for (const S& init : spec_.init)
       {
-        if (insert(init, -1, "<init>"))
+        const auto ins = store_.insert(
+          init, fingerprint(init), Store::no_parent, Store::init_action, 0);
+        if (ins.inserted)
         {
           result.stats.generated_states++;
-          if (!check_state(init, records_.size() - 1, result))
+          if (!check_state(init, ins.id, result))
           {
             finish(result, started, false);
             return result;
@@ -63,20 +78,22 @@ namespace scv::spec
         }
       }
 
+      // With a single shard, IDs are dense 0..size-1 in insertion order, so
+      // a cursor over IDs is the classic FIFO BFS queue.
       size_t cursor = 0;
-      while (cursor < records_.size())
+      while (cursor < store_.size())
       {
         if (elapsed(started) > limits_.time_budget_seconds ||
-            records_.size() >= limits_.max_distinct_states)
+            store_.size() >= limits_.max_distinct_states)
         {
           finish(result, started, false);
           return result;
         }
 
-        const size_t current = cursor++;
-        // Copy: records_ may reallocate during expansion.
-        const S state = records_[current].state;
-        const uint32_t depth = records_[current].depth;
+        const auto current = static_cast<typename Store::Id>(cursor++);
+        // Deque-backed arena: references stay valid across inserts.
+        const S& state = store_.record(current).state;
+        const uint32_t depth = store_.record(current).depth;
         result.stats.max_depth =
           std::max<uint64_t>(result.stats.max_depth, depth);
 
@@ -108,9 +125,15 @@ namespace scv::spec
                 return;
               }
             }
-            if (insert(next, static_cast<int64_t>(current), spec_.actions[a].name))
+            const auto ins = store_.insert(
+              next,
+              fingerprint(next),
+              current,
+              static_cast<uint32_t>(a),
+              depth + 1);
+            if (ins.inserted)
             {
-              if (!check_state(next, records_.size() - 1, result))
+              if (!check_state(next, ins.id, result))
               {
                 violated = true;
               }
@@ -130,13 +153,7 @@ namespace scv::spec
     }
 
   private:
-    struct Record
-    {
-      S state;
-      int64_t parent;
-      std::string action;
-      uint32_t depth;
-    };
+    using Store = ShardedStateStore<S>;
 
     static double elapsed(std::chrono::steady_clock::time_point started)
     {
@@ -150,7 +167,7 @@ namespace scv::spec
       std::chrono::steady_clock::time_point started,
       bool complete)
     {
-      result.stats.distinct_states = records_.size();
+      result.stats.distinct_states = store_.size();
       result.stats.seconds = elapsed(started);
       result.stats.complete = complete;
       if (result.counterexample)
@@ -159,38 +176,16 @@ namespace scv::spec
       }
     }
 
-    /// Returns true if the state was new.
-    bool insert(const S& state, int64_t parent, const std::string& action)
-    {
-      const uint64_t fp = fingerprint(state);
-      auto [it, inserted] = index_.try_emplace(fp);
-      if (!inserted)
-      {
-        for (const size_t idx : it->second)
-        {
-          if (records_[idx].state == state)
-          {
-            return false;
-          }
-        }
-      }
-      const uint32_t depth =
-        parent < 0 ? 0 : records_[static_cast<size_t>(parent)].depth + 1;
-      records_.push_back({state, parent, action, depth});
-      it->second.push_back(records_.size() - 1);
-      return true;
-    }
-
     /// Checks invariants; records a counterexample and returns false on
     /// violation.
-    bool check_state(const S& state, size_t index, CheckResult<S>& result)
+    bool check_state(
+      const S& state, typename Store::Id id, CheckResult<S>& result)
     {
       for (const auto& inv : spec_.invariants)
       {
         if (!inv.check(state))
         {
-          result.counterexample =
-            build_counterexample(static_cast<int64_t>(index), inv.name);
+          result.counterexample = build_counterexample(id, inv.name);
           result.ok = false;
           return false;
         }
@@ -199,76 +194,43 @@ namespace scv::spec
     }
 
     Counterexample<S> build_counterexample(
-      int64_t index, const std::string& property)
+      typename Store::Id id, const std::string& property)
     {
-      Counterexample<S> cex;
-      cex.property = property;
-      std::vector<TraceStep<S>> reversed;
-      while (index >= 0)
-      {
-        const Record& r = records_[static_cast<size_t>(index)];
-        reversed.push_back({r.action, r.state});
-        index = r.parent;
-      }
-      cex.steps.assign(reversed.rbegin(), reversed.rend());
-      return cex;
+      return reconstruct_counterexample(store_, spec_, id, property);
     }
 
     const SpecDef<S>& spec_;
     CheckLimits limits_;
-    std::deque<Record> records_;
-    std::unordered_map<uint64_t, std::vector<size_t>> index_;
+    Store store_;
   };
 
-  /// Convenience wrapper.
+  /// Walks the predecessor chain in `store` from `id` back to an initial
+  /// state. Shared by the sequential and parallel engines; callers must
+  /// ensure no concurrent inserts (see ShardedStateStore's contract).
   template <SpecState S>
-  CheckResult<S> model_check(const SpecDef<S>& spec, CheckLimits limits = {})
-  {
-    ModelChecker<S> checker(spec, limits);
-    return checker.run();
-  }
-
-  template <SpecState S>
-  struct ReachabilityResult
-  {
-    /// Whether a state satisfying the predicate is reachable.
-    bool reachable = false;
-    /// The shortest action sequence to such a state (when reachable).
-    std::vector<TraceStep<S>> witness;
-    ExplorationStats stats;
-    /// Exploration exhausted the bounded space: unreachable is definitive.
-    bool definitive = false;
-  };
-
-  /// Searches for a reachable state satisfying `goal` — the standard trick
-  /// of model checking ¬goal as an invariant, packaged. BFS returns the
-  /// shortest witness.
-  template <SpecState S>
-  ReachabilityResult<S> find_reachable(
+  Counterexample<S> reconstruct_counterexample(
+    const ShardedStateStore<S>& store,
     const SpecDef<S>& spec,
-    const std::string& goal_name,
-    std::function<bool(const S&)> goal,
-    CheckLimits limits = {})
+    typename ShardedStateStore<S>::Id id,
+    const std::string& property)
   {
-    SpecDef<S> probe = spec;
-    probe.invariants.clear();
-    probe.action_properties.clear();
-    probe.invariants.push_back(
-      {goal_name, [goal](const S& s) { return !goal(s); }});
-    const auto result = model_check(probe, limits);
-    ReachabilityResult<S> out;
-    out.stats = result.stats;
-    if (!result.ok && result.counterexample.has_value())
+    using Store = ShardedStateStore<S>;
+    Counterexample<S> cex;
+    cex.property = property;
+    std::vector<TraceStep<S>> reversed;
+    for (auto cur = id; cur != Store::no_parent;)
     {
-      out.reachable = true;
-      out.definitive = true;
-      out.witness = result.counterexample->steps;
+      const auto& r = store.record(cur);
+      reversed.push_back(
+        {r.action == Store::init_action ? "<init>" : spec.actions[r.action].name,
+         r.state});
+      cur = r.parent;
     }
-    else
-    {
-      out.reachable = false;
-      out.definitive = result.stats.complete;
-    }
-    return out;
+    cex.steps.assign(reversed.rbegin(), reversed.rend());
+    return cex;
   }
 }
+
+// The parallel engine and the model_check()/find_reachable() entry points
+// (which dispatch on CheckLimits::threads) live in the companion header.
+#include "spec/parallel_model_checker.h"

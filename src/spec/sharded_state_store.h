@@ -1,0 +1,175 @@
+// Sharded fingerprint store for parallel state-space exploration.
+//
+// TLC scales to many workers by sharing one fingerprint set across
+// threads; this is the analogous structure for our checker. The store is
+// split into N lock-striped shards (N a power of two), selected by the low
+// bits of the state fingerprint. Each shard owns its own hash index
+// (fingerprint -> collision chain of local records) and record arena, so
+// concurrent inserts on different shards never contend and inserts on the
+// same shard serialize on one small mutex.
+//
+// Global state IDs are stable across shards: id = (local_index <<
+// shard_bits) | shard. Predecessor links stored in records use these
+// global IDs, so counterexample reconstruction walks parents across shard
+// boundaries exactly as the sequential checker walks its flat arena.
+//
+// Dedup is fingerprint-first: the index is keyed by the 64-bit
+// fingerprint, and the full state comparison (operator==) runs only for
+// records whose fingerprint collides — the common case touches the state
+// bytes zero times.
+//
+// Concurrency contract:
+//   * insert() and size() may be called from any thread at any time.
+//   * record() takes no lock: call it only for IDs the caller inserted
+//     itself, or once all writers have been joined (counterexample
+//     reconstruction happens after the worker pool stops).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace scv::spec
+{
+  template <SpecState S>
+  class ShardedStateStore
+  {
+  public:
+    using Id = uint64_t;
+    static constexpr Id no_parent = ~Id{0};
+    static constexpr uint32_t init_action = ~uint32_t{0};
+
+    struct Record
+    {
+      S state;
+      Id parent; // no_parent for initial states
+      uint32_t action; // index into the spec's action list; init_action
+      uint32_t depth;
+    };
+
+    struct InsertResult
+    {
+      Id id;
+      bool inserted;
+    };
+
+    explicit ShardedStateStore(size_t shard_count = 1)
+    {
+      size_t n = 1;
+      while (n < shard_count)
+      {
+        n <<= 1;
+      }
+      shard_mask_ = n - 1;
+      shard_bits_ = 0;
+      while ((size_t{1} << shard_bits_) < n)
+      {
+        ++shard_bits_;
+      }
+      shards_ = std::vector<Shard>(n);
+    }
+
+    [[nodiscard]] size_t shard_count() const
+    {
+      return shards_.size();
+    }
+
+    [[nodiscard]] Id encode(size_t shard, size_t local) const
+    {
+      return (static_cast<Id>(local) << shard_bits_) | shard;
+    }
+
+    [[nodiscard]] size_t shard_of(Id id) const
+    {
+      return static_cast<size_t>(id & shard_mask_);
+    }
+
+    [[nodiscard]] size_t local_of(Id id) const
+    {
+      return static_cast<size_t>(id >> shard_bits_);
+    }
+
+    /// Which shard a fingerprint maps to.
+    [[nodiscard]] size_t shard_for_fingerprint(uint64_t fp) const
+    {
+      // The low bits pick the shard; mix the high half in first so that
+      // states whose fingerprints differ only above bit 32 still spread.
+      return static_cast<size_t>((fp ^ (fp >> 32)) & shard_mask_);
+    }
+
+    /// Inserts the state unless an equal state is already present.
+    /// Fingerprint-first: full state comparison only on fp collision.
+    InsertResult insert(
+      const S& state, uint64_t fp, Id parent, uint32_t action, uint32_t depth)
+    {
+      const size_t shard_idx = shard_for_fingerprint(fp);
+      Shard& shard = shards_[shard_idx];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto [it, fresh] = shard.index.try_emplace(fp);
+      if (!fresh)
+      {
+        for (const uint32_t local : it->second)
+        {
+          if (shard.records[local].state == state)
+          {
+            return {encode(shard_idx, local), false};
+          }
+        }
+      }
+      const auto local = static_cast<uint32_t>(shard.records.size());
+      shard.records.push_back({state, parent, action, depth});
+      it->second.push_back(local);
+      shard.published.store(shard.records.size(), std::memory_order_release);
+      return {encode(shard_idx, local), true};
+    }
+
+    /// Total states stored. Exact when quiescent; during a run it is a
+    /// monotone lower bound (each shard's count is published atomically).
+    [[nodiscard]] size_t size() const
+    {
+      size_t total = 0;
+      for (const Shard& shard : shards_)
+      {
+        total += shard.published.load(std::memory_order_acquire);
+      }
+      return total;
+    }
+
+    /// Unsynchronized record access — see the concurrency contract above.
+    [[nodiscard]] const Record& record(Id id) const
+    {
+      return shards_[shard_of(id)].records[local_of(id)];
+    }
+
+    void clear()
+    {
+      for (Shard& shard : shards_)
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.index.clear();
+        shard.records.clear();
+        shard.published.store(0, std::memory_order_release);
+      }
+    }
+
+  private:
+    struct Shard
+    {
+      std::mutex mu;
+      // fingerprint -> chain of local record indices with that fingerprint
+      std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+      // deque: growth never moves existing records
+      std::deque<Record> records;
+      std::atomic<size_t> published{0};
+    };
+
+    std::vector<Shard> shards_;
+    uint64_t shard_mask_ = 0;
+    unsigned shard_bits_ = 0;
+  };
+}

@@ -10,6 +10,7 @@
 // (bench/sim_weighting).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <optional>
@@ -43,6 +44,10 @@ namespace scv::spec
     uint64_t max_behaviors = UINT64_MAX;
     uint64_t max_depth = 50;
     double time_budget_seconds = 1.0;
+    /// Worker threads. 1 = the single-threaded simulator; 0 = one worker
+    /// per hardware thread; N>1 fans independent walks across N workers
+    /// with seed = base seed + worker index (parallel_simulator.h).
+    unsigned threads = 1;
     /// When false, all actions are treated as weight 1 (uniform pick).
     /// Kept for backwards compatibility: false forces Uniform mode.
     bool use_weights = true;
@@ -63,6 +68,9 @@ namespace scv::spec
     std::optional<Counterexample<S>> counterexample;
     ExplorationStats stats;
     uint64_t behaviors = 0;
+    /// The visited fingerprint set (when track_distinct); the parallel
+    /// simulator unions these across workers to measure joint coverage.
+    std::unordered_set<uint64_t> distinct_fingerprints;
   };
 
   template <SpecState S>
@@ -90,6 +98,14 @@ namespace scv::spec
       q_features_ = std::move(features);
     }
 
+    /// Optional cooperative stop: when the flag becomes true the run winds
+    /// down as if the time budget expired. Used by the parallel simulator
+    /// to halt sibling workers once one of them finds a violation.
+    void set_stop_flag(const std::atomic<bool>* stop)
+    {
+      external_stop_ = stop;
+    }
+
     SimResult<S> run()
     {
       const auto started = std::chrono::steady_clock::now();
@@ -99,6 +115,12 @@ namespace scv::spec
       // Time exhausts a behavior mid-walk; the behavior cap only stops
       // *starting* new walks.
       const auto out_of_time = [&] {
+        if (
+          external_stop_ != nullptr &&
+          external_stop_->load(std::memory_order_acquire))
+        {
+          return true;
+        }
         return std::chrono::duration<double>(
                  std::chrono::steady_clock::now() - started)
                  .count() > options_.time_budget_seconds;
@@ -322,13 +344,14 @@ namespace scv::spec
     void finish(
       SimResult<S>& result,
       std::chrono::steady_clock::time_point started,
-      const std::unordered_set<uint64_t>& distinct)
+      std::unordered_set<uint64_t>& distinct)
     {
       result.stats.seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - started)
                                .count();
       result.stats.distinct_states = distinct.size();
       result.stats.complete = false;
+      result.distinct_fingerprints = std::move(distinct);
     }
 
     const SpecDef<S>& spec_;
@@ -337,12 +360,10 @@ namespace scv::spec
     std::function<void(const S&)> observer_;
     std::function<uint64_t(const S&)> q_features_;
     std::unordered_map<uint64_t, double> q_;
+    const std::atomic<bool>* external_stop_ = nullptr;
   };
-
-  template <SpecState S>
-  SimResult<S> simulate(const SpecDef<S>& spec, SimOptions options = {})
-  {
-    Simulator<S> sim(spec, options);
-    return sim.run();
-  }
 }
+
+// The multi-worker engine and the simulate() entry point (which dispatches
+// on SimOptions::threads) live in the companion header.
+#include "spec/parallel_simulator.h"

@@ -25,6 +25,17 @@ namespace scv::spec
     return os.str();
   }
 
+  void ExplorationStats::absorb_counts(const ExplorationStats& other)
+  {
+    generated_states += other.generated_states;
+    transitions += other.transitions;
+    max_depth = std::max(max_depth, other.max_depth);
+    for (const auto& [name, count] : other.action_coverage)
+    {
+      action_coverage[name] += count;
+    }
+  }
+
   std::string ExplorationStats::coverage_report() const
   {
     std::vector<std::pair<std::string, uint64_t>> rows(

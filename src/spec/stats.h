@@ -26,5 +26,10 @@ namespace scv::spec
     [[nodiscard]] std::string summary() const;
     /// One "name: count" line per action, sorted by count descending.
     [[nodiscard]] std::string coverage_report() const;
+    /// Accumulates another run's counting fields (generated, transitions,
+    /// max depth, action coverage) into this one. Used when merging
+    /// per-worker stats; distinct_states, seconds and complete carry
+    /// cross-worker semantics the caller must settle itself.
+    void absorb_counts(const ExplorationStats& other);
   };
 }

@@ -1,0 +1,540 @@
+// Tests for the parallel exploration engine: the sharded fingerprint
+// store's ID scheme and dedup, threads=1 equivalence with the sequential
+// reference engines, and multi-worker runs finding the same violations and
+// covering the same state space as single-worker runs.
+#include <gtest/gtest.h>
+
+#include "spec/model_checker.h"
+#include "spec/simulator.h"
+#include "specs/consensus/spec.h"
+
+using namespace scv;
+using namespace scv::spec;
+
+namespace
+{
+  struct CounterState
+  {
+    int value = 0;
+
+    bool operator==(const CounterState&) const = default;
+    void serialize(ByteSink& sink) const
+    {
+      sink.u64(static_cast<uint64_t>(value));
+    }
+    [[nodiscard]] std::string to_string() const
+    {
+      return "value=" + std::to_string(value);
+    }
+  };
+
+  SpecDef<CounterState> counter_spec(int max)
+  {
+    SpecDef<CounterState> def;
+    def.name = "counter";
+    def.init = {CounterState{0}};
+    def.actions.push_back(
+      {"Increment",
+       [max](const CounterState& s, const Emit<CounterState>& emit) {
+         if (s.value < max)
+         {
+           emit(CounterState{s.value + 1});
+         }
+       },
+       1.0});
+    return def;
+  }
+
+  // Die Hard jugs puzzle: known 16-state space, known 7-step solution.
+  struct Jugs
+  {
+    int small = 0; // capacity 3
+    int big = 0; // capacity 5
+
+    bool operator==(const Jugs&) const = default;
+    void serialize(ByteSink& sink) const
+    {
+      sink.u8(static_cast<uint8_t>(small));
+      sink.u8(static_cast<uint8_t>(big));
+    }
+    [[nodiscard]] std::string to_string() const
+    {
+      return "small=" + std::to_string(small) + " big=" + std::to_string(big);
+    }
+  };
+
+  SpecDef<Jugs> die_hard_spec()
+  {
+    SpecDef<Jugs> def;
+    def.name = "diehard";
+    def.init = {Jugs{}};
+    const auto act = [&def](const char* name, auto fn) {
+      def.actions.push_back(
+        {name,
+         [fn](const Jugs& s, const Emit<Jugs>& emit) {
+           Jugs next = s;
+           fn(next);
+           if (!(next == s))
+           {
+             emit(next);
+           }
+         },
+         1.0});
+    };
+    act("FillSmall", [](Jugs& j) { j.small = 3; });
+    act("FillBig", [](Jugs& j) { j.big = 5; });
+    act("EmptySmall", [](Jugs& j) { j.small = 0; });
+    act("EmptyBig", [](Jugs& j) { j.big = 0; });
+    act("SmallToBig", [](Jugs& j) {
+      const int pour = std::min(j.small, 5 - j.big);
+      j.small -= pour;
+      j.big += pour;
+    });
+    act("BigToSmall", [](Jugs& j) {
+      const int pour = std::min(j.big, 3 - j.small);
+      j.big -= pour;
+      j.small += pour;
+    });
+    def.invariants.push_back(
+      {"NotFourGallons", [](const Jugs& j) { return j.big != 4; }});
+    return def;
+  }
+
+  /// A state whose canonical serialization deliberately omits `hidden`, so
+  /// two unequal states can share one fingerprint — a forced fingerprint
+  /// collision to exercise the collision-chain fallback.
+  struct ColliderState
+  {
+    int keyed = 0;
+    int hidden = 0;
+
+    bool operator==(const ColliderState&) const = default;
+    void serialize(ByteSink& sink) const
+    {
+      sink.u64(static_cast<uint64_t>(keyed));
+    }
+    [[nodiscard]] std::string to_string() const
+    {
+      return "keyed=" + std::to_string(keyed) +
+        " hidden=" + std::to_string(hidden);
+    }
+  };
+
+  void expect_same_counterexample(
+    const std::optional<Counterexample<CounterState>>& a,
+    const std::optional<Counterexample<CounterState>>& b)
+  {
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->property, b->property);
+    ASSERT_EQ(a->steps.size(), b->steps.size());
+    for (size_t i = 0; i < a->steps.size(); ++i)
+    {
+      EXPECT_EQ(a->steps[i].action, b->steps[i].action);
+      EXPECT_EQ(a->steps[i].state, b->steps[i].state);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStateStore
+// ---------------------------------------------------------------------------
+
+TEST(ShardedStateStore, IdEncodingRoundTrips)
+{
+  ShardedStateStore<CounterState> store(8);
+  EXPECT_EQ(store.shard_count(), 8u);
+  for (size_t shard = 0; shard < 8; ++shard)
+  {
+    for (size_t local : {0ull, 1ull, 7ull, 123456ull})
+    {
+      const auto id = store.encode(shard, local);
+      EXPECT_EQ(store.shard_of(id), shard);
+      EXPECT_EQ(store.local_of(id), local);
+    }
+  }
+}
+
+TEST(ShardedStateStore, ShardCountRoundsUpToPowerOfTwo)
+{
+  EXPECT_EQ(ShardedStateStore<CounterState>(1).shard_count(), 1u);
+  EXPECT_EQ(ShardedStateStore<CounterState>(3).shard_count(), 4u);
+  EXPECT_EQ(ShardedStateStore<CounterState>(5).shard_count(), 8u);
+  EXPECT_EQ(ShardedStateStore<CounterState>(16).shard_count(), 16u);
+}
+
+TEST(ShardedStateStore, InsertDedupsAndRecordsAreRetrievable)
+{
+  using Store = ShardedStateStore<CounterState>;
+  Store store(4);
+  const CounterState s1{7};
+  const auto first =
+    store.insert(s1, fingerprint(s1), Store::no_parent, Store::init_action, 0);
+  EXPECT_TRUE(first.inserted);
+  const auto again =
+    store.insert(s1, fingerprint(s1), Store::no_parent, Store::init_action, 0);
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(first.id, again.id);
+  EXPECT_EQ(store.size(), 1u);
+
+  const CounterState s2{8};
+  const auto child = store.insert(s2, fingerprint(s2), first.id, 0, 1);
+  EXPECT_TRUE(child.inserted);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.record(child.id).state, s2);
+  EXPECT_EQ(store.record(child.id).parent, first.id);
+  EXPECT_EQ(store.record(child.id).depth, 1u);
+  EXPECT_EQ(store.record(first.id).parent, Store::no_parent);
+}
+
+TEST(ShardedStateStore, FingerprintCollisionFallsBackToStateComparison)
+{
+  using Store = ShardedStateStore<ColliderState>;
+  Store store(2);
+  const ColliderState a{1, 1};
+  const ColliderState b{1, 2}; // same fingerprint, different state
+  ASSERT_EQ(fingerprint(a), fingerprint(b));
+  ASSERT_FALSE(a == b);
+  const auto ia =
+    store.insert(a, fingerprint(a), Store::no_parent, Store::init_action, 0);
+  const auto ib =
+    store.insert(b, fingerprint(b), Store::no_parent, Store::init_action, 0);
+  EXPECT_TRUE(ia.inserted);
+  EXPECT_TRUE(ib.inserted); // collision chain keeps both
+  EXPECT_NE(ia.id, ib.id);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.record(ia.id).state, a);
+  EXPECT_EQ(store.record(ib.id).state, b);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelModelChecker: threads=1 must reproduce the sequential engine
+// ---------------------------------------------------------------------------
+
+TEST(ParallelModelChecker, SingleWorkerMatchesSequentialOnCleanSpec)
+{
+  const auto spec = counter_spec(100);
+  const auto sequential = ModelChecker<CounterState>(spec).run();
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  EXPECT_TRUE(parallel.ok);
+  EXPECT_TRUE(parallel.stats.complete);
+  EXPECT_EQ(parallel.stats.distinct_states, sequential.stats.distinct_states);
+  EXPECT_EQ(parallel.stats.generated_states, sequential.stats.generated_states);
+  EXPECT_EQ(parallel.stats.transitions, sequential.stats.transitions);
+  EXPECT_EQ(parallel.stats.max_depth, sequential.stats.max_depth);
+  EXPECT_EQ(parallel.stats.action_coverage, sequential.stats.action_coverage);
+}
+
+TEST(ParallelModelChecker, SingleWorkerMatchesSequentialCounterexample)
+{
+  auto spec = counter_spec(10);
+  spec.invariants.push_back(
+    {"BelowFive", [](const CounterState& s) { return s.value < 5; }});
+  const auto sequential = ModelChecker<CounterState>(spec).run();
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  ASSERT_FALSE(sequential.ok);
+  ASSERT_FALSE(parallel.ok);
+  EXPECT_EQ(
+    parallel.stats.distinct_states, sequential.stats.distinct_states);
+  expect_same_counterexample(parallel.counterexample, sequential.counterexample);
+}
+
+TEST(ParallelModelChecker, SingleWorkerMatchesSequentialActionProperty)
+{
+  auto spec = counter_spec(10);
+  spec.actions.push_back(
+    {"Decrement",
+     [](const CounterState& s, const Emit<CounterState>& emit) {
+       if (s.value > 0)
+       {
+         emit(CounterState{s.value - 1});
+       }
+     },
+     1.0});
+  spec.action_properties.push_back(
+    {"Monotonic", [](const CounterState& a, const CounterState& b) {
+       return b.value >= a.value;
+     }});
+  const auto sequential = ModelChecker<CounterState>(spec).run();
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  ASSERT_FALSE(sequential.ok);
+  ASSERT_FALSE(parallel.ok);
+  EXPECT_EQ(parallel.stats.generated_states, sequential.stats.generated_states);
+  expect_same_counterexample(parallel.counterexample, sequential.counterexample);
+}
+
+TEST(ParallelModelChecker, SingleWorkerMatchesSequentialDieHard)
+{
+  const auto spec = die_hard_spec();
+  const auto sequential = ModelChecker<Jugs>(spec).run();
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto parallel = ParallelModelChecker<Jugs>(spec, limits).run();
+  ASSERT_FALSE(parallel.ok);
+  ASSERT_TRUE(parallel.counterexample.has_value());
+  EXPECT_EQ(parallel.counterexample->steps.size(), 7u);
+  EXPECT_EQ(parallel.counterexample->steps.back().state.big, 4);
+  ASSERT_TRUE(sequential.counterexample.has_value());
+  ASSERT_EQ(
+    sequential.counterexample->steps.size(),
+    parallel.counterexample->steps.size());
+  for (size_t i = 0; i < parallel.counterexample->steps.size(); ++i)
+  {
+    EXPECT_EQ(
+      parallel.counterexample->steps[i].action,
+      sequential.counterexample->steps[i].action);
+    EXPECT_EQ(
+      parallel.counterexample->steps[i].state,
+      sequential.counterexample->steps[i].state);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelModelChecker: multi-worker behavior
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  SpecDef<Jugs> die_hard_no_invariants()
+  {
+    auto spec = die_hard_spec();
+    spec.invariants.clear();
+    return spec;
+  }
+}
+
+// Clean bounded spec: the explored *set* is deterministic regardless of
+// worker count, so the distinct count must match exactly.
+TEST(ParallelModelChecker, FourWorkersExploreExactly16DieHardStates)
+{
+  CheckLimits limits;
+  limits.threads = 4;
+  const auto result =
+    ParallelModelChecker<Jugs>(die_hard_no_invariants(), limits).run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_EQ(result.stats.distinct_states, 16u);
+}
+
+TEST(ParallelModelChecker, FourWorkersFindLevelMinimalViolation)
+{
+  auto spec = counter_spec(10);
+  spec.invariants.push_back(
+    {"BelowFive", [](const CounterState& s) { return s.value < 5; }});
+  CheckLimits limits;
+  limits.threads = 4;
+  const auto result = ParallelModelChecker<CounterState>(spec, limits).run();
+  ASSERT_FALSE(result.ok);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(result.counterexample->property, "BelowFive");
+  // BFS levels are processed in order: the violation is level-minimal.
+  EXPECT_EQ(result.counterexample->steps.size(), 6u);
+  EXPECT_EQ(result.counterexample->steps.back().state.value, 5);
+}
+
+TEST(ParallelModelChecker, LimitsRespectedAtFourWorkers)
+{
+  CheckLimits limits;
+  limits.threads = 4;
+  limits.max_distinct_states = 50;
+  const auto result =
+    ParallelModelChecker<CounterState>(counter_spec(10000), limits).run();
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.stats.complete);
+  // Workers stop claiming items once the limit trips; in-flight expansions
+  // may add at most one level of slack.
+  EXPECT_GE(result.stats.distinct_states, 50u);
+  EXPECT_LE(result.stats.distinct_states, 60u);
+}
+
+TEST(ParallelModelChecker, DepthLimitRespectedAtFourWorkers)
+{
+  CheckLimits limits;
+  limits.threads = 4;
+  limits.max_depth = 3;
+  const auto result =
+    ParallelModelChecker<CounterState>(counter_spec(1000), limits).run();
+  EXPECT_TRUE(result.stats.complete);
+  EXPECT_EQ(result.stats.distinct_states, 4u); // 0..3
+}
+
+// Stress: the bounded consensus spec with a re-injected historical bug
+// (bug 3, commit-advance-on-NACK) must produce the same verdict and the
+// same violated property at 1 and at 4 workers; the fixed spec must cover
+// the identical state space at both worker counts.
+namespace
+{
+  specs::ccfraft::Params nack_bug_model(bool buggy)
+  {
+    specs::ccfraft::Params p;
+    p.n_nodes = 2;
+    p.max_term = 1;
+    p.max_requests = 1;
+    p.max_log_len = 4;
+    p.max_batch = 2;
+    p.max_network = 3;
+    p.max_copies = 1;
+    p.bugs.nack_overwrites_match_index = buggy;
+    return p;
+  }
+}
+
+TEST(ParallelModelChecker, ConsensusBugFoundAtOneAndFourWorkers)
+{
+  const auto spec = specs::ccfraft::build_spec(nack_bug_model(true));
+  for (const unsigned threads : {1u, 4u})
+  {
+    CheckLimits limits;
+    limits.threads = threads;
+    limits.time_budget_seconds = 120.0;
+    const auto result = model_check(spec, limits);
+    ASSERT_FALSE(result.ok) << "threads=" << threads;
+    ASSERT_TRUE(result.counterexample.has_value());
+    EXPECT_EQ(result.counterexample->property, "MonotonicMatchIndexProp")
+      << "threads=" << threads;
+    // Spot-check the trace is well-formed: starts at an init state and
+    // every step names a real action.
+    EXPECT_EQ(result.counterexample->steps.front().action, "<init>");
+    for (size_t i = 1; i < result.counterexample->steps.size(); ++i)
+    {
+      EXPECT_FALSE(result.counterexample->steps[i].action.empty());
+    }
+  }
+}
+
+TEST(ParallelModelChecker, ConsensusCleanSpecSameCoverageAtFourWorkers)
+{
+  const auto spec = specs::ccfraft::build_spec(nack_bug_model(false));
+  CheckLimits limits;
+  limits.time_budget_seconds = 120.0;
+  limits.threads = 1;
+  const auto one = model_check(spec, limits);
+  limits.threads = 4;
+  const auto four = model_check(spec, limits);
+  ASSERT_TRUE(one.ok);
+  ASSERT_TRUE(four.ok);
+  ASSERT_TRUE(one.stats.complete);
+  ASSERT_TRUE(four.stats.complete);
+  EXPECT_EQ(four.stats.distinct_states, one.stats.distinct_states);
+  EXPECT_EQ(four.stats.transitions, one.stats.transitions);
+  EXPECT_EQ(four.stats.action_coverage, one.stats.action_coverage);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSimulator
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSimulator, SingleWorkerMatchesSequentialSimulator)
+{
+  const auto spec = die_hard_no_invariants();
+  SimOptions options;
+  options.seed = 42;
+  options.max_behaviors = 50;
+  options.max_depth = 10;
+  options.time_budget_seconds = 30.0;
+  const auto sequential = Simulator<Jugs>(spec, options).run();
+  options.threads = 1;
+  const auto parallel = ParallelSimulator<Jugs>(spec, options).run();
+  EXPECT_EQ(parallel.ok, sequential.ok);
+  EXPECT_EQ(parallel.behaviors, sequential.behaviors);
+  EXPECT_EQ(parallel.stats.transitions, sequential.stats.transitions);
+  EXPECT_EQ(parallel.stats.distinct_states, sequential.stats.distinct_states);
+  EXPECT_EQ(
+    parallel.distinct_fingerprints, sequential.distinct_fingerprints);
+}
+
+TEST(ParallelSimulator, FourWorkersMergeStatsAndCoverage)
+{
+  const auto spec = die_hard_no_invariants();
+  SimOptions options;
+  options.seed = 42;
+  options.max_behaviors = 40;
+  options.max_depth = 10;
+  options.time_budget_seconds = 30.0;
+  options.threads = 4;
+  const auto result = simulate(spec, options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.behaviors, 40u); // shares sum to the requested budget
+  EXPECT_GT(result.stats.transitions, 0u);
+  // Distinct counts are a union, not a sum: never more than the 16
+  // reachable states of the puzzle.
+  EXPECT_LE(result.stats.distinct_states, 16u);
+  EXPECT_GT(result.stats.distinct_states, 0u);
+  EXPECT_EQ(
+    result.distinct_fingerprints.size(), result.stats.distinct_states);
+}
+
+TEST(ParallelSimulator, WorkerSeedsAreIndependent)
+{
+  // The same worker count and base seed reproduce the same merged
+  // behavior count and coverage (stop-flag timing cannot differ on a
+  // violation-free spec).
+  const auto spec = die_hard_no_invariants();
+  SimOptions options;
+  options.seed = 7;
+  options.max_behaviors = 32;
+  options.max_depth = 8;
+  options.time_budget_seconds = 30.0;
+  options.threads = 4;
+  const auto a = simulate(spec, options);
+  const auto b = simulate(spec, options);
+  EXPECT_EQ(a.behaviors, b.behaviors);
+  EXPECT_EQ(a.stats.transitions, b.stats.transitions);
+  EXPECT_EQ(a.distinct_fingerprints, b.distinct_fingerprints);
+}
+
+TEST(ParallelSimulator, FourWorkersFindViolation)
+{
+  auto spec = counter_spec(20);
+  spec.invariants.push_back(
+    {"BelowTen", [](const CounterState& s) { return s.value < 10; }});
+  SimOptions options;
+  options.seed = 5;
+  options.max_depth = 30;
+  options.time_budget_seconds = 30.0;
+  options.threads = 4;
+  const auto result = simulate(spec, options);
+  ASSERT_FALSE(result.ok);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(result.counterexample->property, "BelowTen");
+  EXPECT_EQ(result.counterexample->steps.back().state.value, 10);
+}
+
+TEST(ParallelSimulator, ObserverSeesStatesFromAllWorkers)
+{
+  const auto spec = counter_spec(5);
+  SimOptions options;
+  options.seed = 11;
+  options.max_behaviors = 20;
+  options.max_depth = 5;
+  options.time_budget_seconds = 30.0;
+  options.threads = 4;
+  ParallelSimulator<CounterState> sim(spec, options);
+  uint64_t observed = 0;
+  sim.set_observer([&observed](const CounterState&) { ++observed; });
+  const auto result = sim.run();
+  EXPECT_TRUE(result.ok);
+  // One observation per walk start plus one per transition.
+  EXPECT_EQ(observed, result.behaviors + result.stats.transitions);
+}
+
+// model_check() dispatch: the threads field routes to the same results.
+TEST(ModelCheckDispatch, ThreadsFieldRoutesBothEngines)
+{
+  auto spec = counter_spec(50);
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto seq = model_check(spec, limits);
+  limits.threads = 2;
+  const auto par = model_check(spec, limits);
+  EXPECT_TRUE(seq.ok);
+  EXPECT_TRUE(par.ok);
+  EXPECT_EQ(seq.stats.distinct_states, 51u);
+  EXPECT_EQ(par.stats.distinct_states, 51u);
+}

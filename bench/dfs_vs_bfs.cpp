@@ -95,6 +95,38 @@ int main()
     }
   }
 
+  // The BFS frontier itself parallelizes (ValidationOptions::threads
+  // splits each line's frontier across the worker pool); sweep the worker
+  // count at the heaviest fault budget, where the frontier is widest.
+  std::printf("\nParallel BFS frontier (faults/line=2):\n");
+  for (const unsigned threads : thread_sweep())
+  {
+    trace::ConsensusValidationOptions options;
+    options.search.mode = spec::SearchMode::Bfs;
+    options.search.max_faults_per_step = 2;
+    options.search.time_budget_seconds = 60.0;
+    options.search.threads = threads;
+    options.fault_composition = true;
+    Stopwatch sw;
+    const auto r = trace::validate_consensus_trace(c.trace(), params, options);
+    const double secs = sw.seconds();
+    std::printf(
+      "  threads=%-2u %10s %14llu states %9.3fs (%s states/s)\n",
+      threads,
+      r.ok ? "valid" : (secs >= 59.0 ? "TIMEOUT" : "invalid"),
+      static_cast<unsigned long long>(r.states_explored),
+      secs,
+      magnitude(
+        secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0)
+        .c_str());
+    report.add_run(
+      "parallel_bfs_validation",
+      threads,
+      secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
+      r.states_explored,
+      secs);
+  }
+
   // Trace validations are embarrassingly parallel across traces (the paper
   // validates every CI run's trace); measure aggregate DFS validation
   // throughput with T concurrent validations of the same trace.

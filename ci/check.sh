@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build + test the Release configuration, then rebuild with
 # ThreadSanitizer (-DSCV_SANITIZE=thread) and re-run the suite so data
-# races in the parallel checker/simulator fail the build.
+# races in the parallel checker/simulator/validator fail the build. Both
+# variants build with -Werror (SCV_WERROR).
 #
 # Usage: ci/check.sh [jobs]
 set -euo pipefail
@@ -13,7 +14,7 @@ run_variant() {
   local dir="$1"
   shift
   echo "=== configure ${dir} ($*) ==="
-  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DSCV_WERROR=ON "$@"
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== test ${dir} ==="
@@ -22,5 +23,14 @@ run_variant() {
 
 run_variant build-release
 run_variant build-tsan -DSCV_SANITIZE=thread
+
+# Trace-validation smoke under TSan: the demo exercises the end-to-end
+# pipeline (scenario -> trace -> validator) in both the sequential
+# reference configuration and the parallel BFS frontier, so a data race in
+# the parallel validator fails CI even on timing-friendly hosts.
+echo "=== tsan trace-validation smoke (threads=1) ==="
+./build-tsan/examples/trace_validate_demo --threads=1
+echo "=== tsan trace-validation smoke (threads=4) ==="
+./build-tsan/examples/trace_validate_demo --threads=4
 
 echo "=== ci/check.sh: all variants passed ==="

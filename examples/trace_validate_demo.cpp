@@ -3,8 +3,18 @@
 // then corrupt one line and watch validation fail with the paper's
 // "unsatisfied state" diagnostics.
 //
-//   ./trace_validate_demo [trace-output.jsonl]
+//   ./trace_validate_demo [--threads=N] [--max-diagnostics=K]
+//                         [trace-output.jsonl]
+//
+// --threads selects the BFS worker count (ValidationOptions::threads;
+// 1 = the sequential reference engine, 0 = hardware concurrency). DFS is
+// always sequential, so the flag demonstrates the two BFS configurations
+// CI smokes under ThreadSanitizer. --max-diagnostics caps the candidate
+// states kept for the unsatisfied-state report
+// (ValidationOptions::max_diagnostic_states).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "driver/cluster.h"
 #include "trace/consensus_binding.h"
@@ -16,6 +26,25 @@ using namespace scv::driver;
 
 int main(int argc, char** argv)
 {
+  unsigned threads = 1;
+  size_t max_diagnostics = 8;
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i)
+  {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+    {
+      threads = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+    else if (std::strncmp(argv[i], "--max-diagnostics=", 18) == 0)
+    {
+      max_diagnostics = std::strtoull(argv[i] + 18, nullptr, 10);
+    }
+    else
+    {
+      trace_path = argv[i];
+    }
+  }
+
   // 1. Run a scenario that exercises replication, an election, and
   //    catch-up.
   ClusterOptions options;
@@ -50,25 +79,48 @@ int main(int argc, char** argv)
     c.trace().size(),
     events.size());
 
-  if (argc > 1)
+  if (trace_path != nullptr)
   {
-    if (trace::write_file(argv[1], events))
+    if (trace::write_file(trace_path, events))
     {
-      std::printf("wrote trace to %s\n", argv[1]);
+      std::printf("wrote trace to %s\n", trace_path);
     }
   }
 
   // 2. Validate: is this trace a behavior of the spec (T ∩ S ≠ ∅)?
+  //    DFS finds the single witness; BFS sweeps the full frontier with
+  //    the requested worker count (§6.4 compares the two).
   const auto params = trace::validation_params({1, 2, 3}, 1, 3);
-  const auto result = trace::validate_consensus_trace(c.trace(), params);
+  trace::ConsensusValidationOptions vopts;
+  vopts.search.max_diagnostic_states = max_diagnostics;
+  const auto result = trace::validate_consensus_trace(c.trace(), params, vopts);
   std::printf(
-    "validation: %s — %zu/%zu lines matched, %llu states explored, %.3fs\n",
+    "validation (DFS): %s — %zu/%zu lines matched, %llu states explored, "
+    "%.3fs\n",
     result.ok ? "VALID" : "INVALID",
     result.lines_matched,
     events.size(),
     static_cast<unsigned long long>(result.states_explored),
     result.seconds);
   if (!result.ok)
+  {
+    return 1;
+  }
+
+  vopts.search.mode = spec::SearchMode::Bfs;
+  vopts.search.threads = threads;
+  const auto bfs = trace::validate_consensus_trace(c.trace(), params, vopts);
+  std::printf(
+    "validation (BFS, threads=%u): %s — %zu/%zu lines matched, %llu states "
+    "explored, witness of %zu states, %.3fs\n",
+    threads,
+    bfs.ok ? "VALID" : "INVALID",
+    bfs.lines_matched,
+    events.size(),
+    static_cast<unsigned long long>(bfs.states_explored),
+    bfs.witness.size(),
+    bfs.seconds);
+  if (!bfs.ok)
   {
     return 1;
   }
@@ -88,7 +140,8 @@ int main(int argc, char** argv)
       break;
     }
   }
-  const auto bad = trace::validate_consensus_trace(corrupted, params);
+  vopts.search.mode = spec::SearchMode::Dfs;
+  const auto bad = trace::validate_consensus_trace(corrupted, params, vopts);
   std::printf(
     "validation: %s — matched %zu lines, then failed at:\n  %s\n",
     bad.ok ? "VALID (?!)" : "INVALID (as expected)",
@@ -96,8 +149,9 @@ int main(int argc, char** argv)
     bad.failed_line.c_str());
   std::printf(
     "unsatisfied-state diagnostics (%zu candidate states at the failing "
-    "line):\n",
-    bad.frontier_at_failure.size());
+    "line, cap %zu):\n",
+    bad.frontier_at_failure.size(),
+    max_diagnostics);
   for (size_t i = 0; i < bad.frontier_at_failure.size() && i < 2; ++i)
   {
     std::printf("  %s\n", bad.frontier_at_failure[i].to_string().c_str());

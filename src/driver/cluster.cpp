@@ -51,7 +51,11 @@ namespace scv::driver
             std::string nodes;
             for (const NodeId n2 : entry.config)
             {
-              nodes += (nodes.empty() ? "" : ",") + std::to_string(n2);
+              if (!nodes.empty())
+              {
+                nodes += ',';
+              }
+              nodes += std::to_string(n2);
             }
             ws.writes.push_back({"ccf.gov.nodes.info", nodes});
             break;

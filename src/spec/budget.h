@@ -1,0 +1,103 @@
+// Unified exploration budget.
+//
+// Every engine in the exploration core — exhaustive checking, randomized
+// simulation, and trace validation — bounds its search the same three
+// ways: a wall-clock deadline, a cap on some monotone work counter
+// (distinct states, behaviors, or emitted candidates; the engine picks the
+// unit), and a depth cap. Before this type each engine hand-rolled its own
+// chrono arithmetic and comparison; now a run constructs one Budget from
+// its options struct (CheckLimits::budget_caps(), SimOptions::budget_caps(),
+// ValidationOptions::budget_caps()) and routes every "should I keep
+// going?" decision through exhausted().
+//
+// A Budget can also carry an external cooperative-stop flag (the parallel
+// engines' "a sibling worker found a violation" signal); a raised flag
+// reads as an expired deadline so the wind-down path is shared too.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace scv::spec
+{
+  class Budget
+  {
+  public:
+    struct Caps
+    {
+      double time_budget_seconds = 1e18;
+      /// Cap on the engine's work counter. The unit is engine-defined:
+      /// distinct states (checker), behaviors (simulator), or emitted
+      /// candidate states (trace validator).
+      uint64_t max_states = UINT64_MAX;
+      uint64_t max_depth = UINT64_MAX;
+    };
+
+    /// The clock starts at construction; build the Budget when the run
+    /// starts (or call restart()).
+    Budget() : Budget(Caps{}) {}
+    explicit Budget(const Caps& caps) :
+      caps_(caps),
+      started_(std::chrono::steady_clock::now())
+    {}
+
+    void restart()
+    {
+      started_ = std::chrono::steady_clock::now();
+    }
+
+    /// Cooperative stop (may be null). A raised flag counts as an expired
+    /// deadline. The flag must outlive the Budget.
+    void set_stop_flag(const std::atomic<bool>* stop)
+    {
+      stop_ = stop;
+    }
+
+    [[nodiscard]] double elapsed() const
+    {
+      return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - started_)
+        .count();
+    }
+
+    [[nodiscard]] bool stopped() const
+    {
+      return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] bool time_exhausted() const
+    {
+      return stopped() || elapsed() > caps_.time_budget_seconds;
+    }
+
+    [[nodiscard]] bool states_exhausted(uint64_t states) const
+    {
+      return states >= caps_.max_states;
+    }
+
+    /// The one check every engine loop makes: deadline hit, stop flag
+    /// raised, or the work counter at its cap.
+    [[nodiscard]] bool exhausted(uint64_t states) const
+    {
+      return time_exhausted() || states_exhausted(states);
+    }
+
+    /// Depth caps are not exhaustion: a too-deep state is skipped, not a
+    /// reason to end the run (the classic BFS depth bound).
+    [[nodiscard]] bool depth_exceeded(uint64_t depth) const
+    {
+      return depth >= caps_.max_depth;
+    }
+
+    [[nodiscard]] const Caps& caps() const
+    {
+      return caps_;
+    }
+
+  private:
+    Caps caps_;
+    std::chrono::steady_clock::time_point started_;
+    const std::atomic<bool>* stop_ = nullptr;
+  };
+}

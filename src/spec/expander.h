@@ -1,0 +1,126 @@
+// Successor expansion layer shared by the exploration engines.
+//
+// Between "the spec's actions" and "the engine's search loop" sits a thin
+// layer every engine was reimplementing: checking the state constraint
+// before expanding, fingerprinting states for dedup, and composing the
+// optional fault expander (the paper's IsFault · Next, Listing 5) before a
+// trace line. Expander<S> owns all three.
+//
+// Fault composition is fingerprint-deduplicated per source state: each
+// distinct state in the closure of up to max_fault_layers fault
+// applications is emitted exactly once. (The pre-core validator re-emitted
+// states reached by different fault orders — e.g. drop A then B vs drop B
+// then A — inflating states_explored and DFS branching quadratically with
+// max_faults_per_step >= 2.)
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "spec/sharded_state_store.h"
+#include "spec/spec.h"
+
+namespace scv::spec
+{
+  template <SpecState S>
+  class Expander
+  {
+  public:
+    Expander() = default;
+
+    /// Binds the spec whose constraint gates expansion. The spec must
+    /// outlive the Expander.
+    explicit Expander(const SpecDef<S>* spec) : spec_(spec) {}
+
+    /// State constraint (§4): successors of states violating it are not
+    /// explored. An unbound Expander (trace validation) has no constraint.
+    [[nodiscard]] bool within_constraint(const S& s) const
+    {
+      return spec_ == nullptr || spec_->within_constraint(s);
+    }
+
+    [[nodiscard]] uint64_t fingerprint_of(const S& s) const
+    {
+      return fingerprint(s);
+    }
+
+    /// Fingerprint-first insert into a store: dedup and predecessor
+    /// bookkeeping in one call.
+    [[nodiscard]] typename ShardedStateStore<S>::InsertResult admit(
+      ShardedStateStore<S>& store,
+      const S& state,
+      typename ShardedStateStore<S>::Id parent,
+      uint32_t action,
+      uint32_t depth) const
+    {
+      return store.insert(state, fingerprint_of(state), parent, action, depth);
+    }
+
+    /// Same, but keyed by a caller-salted fingerprint (the trace validator
+    /// scopes dedup per line by salting with the line number).
+    [[nodiscard]] typename ShardedStateStore<S>::InsertResult admit_keyed(
+      ShardedStateStore<S>& store,
+      const S& state,
+      uint64_t key,
+      typename ShardedStateStore<S>::Id parent,
+      uint32_t action,
+      uint32_t depth) const
+    {
+      return store.insert(state, key, parent, action, depth);
+    }
+
+    /// Fault expander (e.g. "drop any one in-flight message"), composed
+    /// 0..max_layers times before each expansion. Pass an empty function to
+    /// disable.
+    void set_fault(
+      std::function<void(const S&, const Emit<S>&)> fault, size_t max_layers)
+    {
+      fault_ = std::move(fault);
+      max_fault_layers_ = max_layers;
+    }
+
+    [[nodiscard]] bool has_fault() const
+    {
+      return static_cast<bool>(fault_) && max_fault_layers_ > 0;
+    }
+
+    /// Emits `state` and every *distinct* state reachable from it by up to
+    /// max_layers applications of the fault expander (deduplicated by
+    /// fingerprint across the whole closure, including `state` itself).
+    void with_faults(const S& state, const Emit<S>& emit) const
+    {
+      emit(state);
+      if (!has_fault())
+      {
+        return;
+      }
+      std::unordered_set<uint64_t> seen = {fingerprint_of(state)};
+      std::vector<S> layer = {state};
+      for (size_t k = 0; k < max_fault_layers_; ++k)
+      {
+        std::vector<S> next_layer;
+        for (const S& s : layer)
+        {
+          fault_(s, [&](const S& f) {
+            if (seen.insert(fingerprint_of(f)).second)
+            {
+              next_layer.push_back(f);
+              emit(f);
+            }
+          });
+        }
+        if (next_layer.empty())
+        {
+          break;
+        }
+        layer = std::move(next_layer);
+      }
+    }
+
+  private:
+    const SpecDef<S>* spec_ = nullptr;
+    std::function<void(const S&, const Emit<S>&)> fault_;
+    size_t max_fault_layers_ = 0;
+  };
+}

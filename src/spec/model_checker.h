@@ -7,20 +7,23 @@
 // action sequence that reaches it — the same workflow the paper describes
 // for translating spec counterexamples into functional tests (§7).
 //
-// Two engines share this interface:
+// Two engines share this interface, both built on the exploration core
+// (Budget for limits, Expander for constraint/fingerprint/dedup,
+// ShardedStateStore for the fingerprint set):
 //   * ModelChecker — strictly sequential FIFO BFS (this file). The
 //     reference semantics: deterministic traversal order, shortest
 //     counterexamples.
 //   * ParallelModelChecker (parallel_model_checker.h) — frontier-batched
-//     BFS over a worker pool and a sharded fingerprint store; TLC's
+//     BFS over a WorkerPool and a sharded fingerprint store; TLC's
 //     multi-worker exploration model. `model_check()` dispatches on
 //     CheckLimits::threads; threads=1 reproduces the sequential engine's
 //     results exactly.
 #pragma once
 
-#include <chrono>
 #include <optional>
 
+#include "spec/budget.h"
+#include "spec/expander.h"
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
@@ -36,6 +39,12 @@ namespace scv::spec
     /// (deterministic reference semantics); 0 = one worker per hardware
     /// thread; N>1 = parallel frontier-batched BFS with N workers.
     unsigned threads = 1;
+
+    /// The exploration-core budget: work counter = distinct states.
+    [[nodiscard]] Budget::Caps budget_caps() const
+    {
+      return {time_budget_seconds, max_distinct_states, max_depth};
+    }
   };
 
   template <SpecState S>
@@ -53,28 +62,33 @@ namespace scv::spec
     explicit ModelChecker(const SpecDef<S>& spec, CheckLimits limits = {}) :
       spec_(spec),
       limits_(limits),
+      expander_(&spec_),
       store_(1)
     {}
 
     CheckResult<S> run()
     {
-      const auto started = std::chrono::steady_clock::now();
+      Budget budget(limits_.budget_caps());
       CheckResult<S> result;
 
       store_.clear();
 
       for (const S& init : spec_.init)
       {
-        const auto ins = store_.insert(
-          init, fingerprint(init), Store::no_parent, Store::init_action, 0);
+        const auto ins = expander_.admit(
+          store_, init, Store::no_parent, Store::init_action, 0);
         if (ins.inserted)
         {
           result.stats.generated_states++;
           if (!check_state(init, ins.id, result))
           {
-            finish(result, started, false);
+            finish(result, budget, false);
             return result;
           }
+        }
+        else
+        {
+          result.stats.duplicate_states++;
         }
       }
 
@@ -83,10 +97,9 @@ namespace scv::spec
       size_t cursor = 0;
       while (cursor < store_.size())
       {
-        if (elapsed(started) > limits_.time_budget_seconds ||
-            store_.size() >= limits_.max_distinct_states)
+        if (budget.exhausted(store_.size()))
         {
-          finish(result, started, false);
+          finish(result, budget, false);
           return result;
         }
 
@@ -97,7 +110,8 @@ namespace scv::spec
         result.stats.max_depth =
           std::max<uint64_t>(result.stats.max_depth, depth);
 
-        if (!spec_.within_constraint(state) || depth >= limits_.max_depth)
+        if (!expander_.within_constraint(state) ||
+            budget.depth_exceeded(depth))
         {
           continue;
         }
@@ -125,12 +139,8 @@ namespace scv::spec
                 return;
               }
             }
-            const auto ins = store_.insert(
-              next,
-              fingerprint(next),
-              current,
-              static_cast<uint32_t>(a),
-              depth + 1);
+            const auto ins = expander_.admit(
+              store_, next, current, static_cast<uint32_t>(a), depth + 1);
             if (ins.inserted)
             {
               if (!check_state(next, ins.id, result))
@@ -138,37 +148,31 @@ namespace scv::spec
                 violated = true;
               }
             }
+            else
+            {
+              result.stats.duplicate_states++;
+            }
           });
         }
         if (violated)
         {
           result.ok = false;
-          finish(result, started, false);
+          finish(result, budget, false);
           return result;
         }
       }
 
-      finish(result, started, true);
+      finish(result, budget, true);
       return result;
     }
 
   private:
     using Store = ShardedStateStore<S>;
 
-    static double elapsed(std::chrono::steady_clock::time_point started)
-    {
-      return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - started)
-        .count();
-    }
-
-    void finish(
-      CheckResult<S>& result,
-      std::chrono::steady_clock::time_point started,
-      bool complete)
+    void finish(CheckResult<S>& result, const Budget& budget, bool complete)
     {
       result.stats.distinct_states = store_.size();
-      result.stats.seconds = elapsed(started);
+      result.stats.seconds = budget.elapsed();
       result.stats.complete = complete;
       if (result.counterexample)
       {
@@ -201,6 +205,7 @@ namespace scv::spec
 
     const SpecDef<S>& spec_;
     CheckLimits limits_;
+    Expander<S> expander_;
     Store store_;
   };
 

@@ -2,12 +2,13 @@
 //
 // The paper's TLC throughput numbers (Table 1) come from many workers
 // draining a shared frontier over one shared fingerprint set; this is the
-// same architecture for our checker. Exploration is frontier-batched BFS:
-// all states at depth d form one work vector, workers claim items with an
-// atomic cursor, expand actions, push successors through the sharded
-// fingerprint store (dedup is lock-striped per shard), and collect the
-// next frontier in per-worker vectors that are concatenated at the level
-// barrier.
+// same architecture for our checker, assembled from the exploration core:
+// a WorkerPool runs each level, an Expander gates and fingerprints
+// successors, the ShardedStateStore dedups them (lock-striped per shard),
+// and a Budget bounds the run. Exploration is frontier-batched BFS: all
+// states at depth d form one work vector, workers claim items with an
+// atomic cursor, expand actions, and collect the next frontier in
+// per-worker vectors that are concatenated at the level barrier.
 //
 // Properties:
 //   * threads=1 reproduces the sequential ModelChecker exactly: one worker
@@ -21,34 +22,24 @@
 //     the reported trace is *level-minimal*: no strictly shorter
 //     counterexample exists (workers racing within one level may pick a
 //     different same-length violation than the sequential engine).
-//   * Limits (time budget, max distinct states, max depth) are checked
-//     per claimed item, mirroring the sequential loop.
+//   * The Budget (time, max distinct states, max depth) is checked per
+//     claimed item, mirroring the sequential loop.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "spec/budget.h"
+#include "spec/expander.h"
 #include "spec/model_checker.h"
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
+#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
-  /// 0 -> one worker per hardware thread (at least one).
-  inline unsigned resolve_worker_count(unsigned requested)
-  {
-    if (requested != 0)
-    {
-      return requested;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-  }
-
   template <SpecState S>
   class ParallelModelChecker
   {
@@ -57,15 +48,16 @@ namespace scv::spec
       const SpecDef<S>& spec, CheckLimits limits = {}) :
       spec_(spec),
       limits_(limits),
-      threads_(resolve_worker_count(limits.threads)),
+      expander_(&spec_),
+      pool_(limits.threads),
       // Over-provision shards (4x workers) so two workers rarely hash to
       // the same stripe; a single worker keeps the sequential layout.
-      store_(threads_ == 1 ? 1 : 4 * static_cast<size_t>(threads_))
+      store_(pool_.size() == 1 ? 1 : 4 * static_cast<size_t>(pool_.size()))
     {}
 
     CheckResult<S> run()
     {
-      const auto started = std::chrono::steady_clock::now();
+      Budget budget(limits_.budget_caps());
       CheckResult<S> result;
       store_.clear();
 
@@ -74,10 +66,11 @@ namespace scv::spec
       std::vector<Item> frontier;
       for (const S& init : spec_.init)
       {
-        const auto ins = store_.insert(
-          init, fingerprint(init), Store::no_parent, Store::init_action, 0);
+        const auto ins = expander_.admit(
+          store_, init, Store::no_parent, Store::init_action, 0);
         if (!ins.inserted)
         {
+          result.stats.duplicate_states++;
           continue;
         }
         result.stats.generated_states++;
@@ -87,7 +80,7 @@ namespace scv::spec
           {
             result.counterexample =
               reconstruct_counterexample(store_, spec_, ins.id, inv.name);
-            finish(result, started, false);
+            finish(result, budget, false);
             return result;
           }
         }
@@ -100,42 +93,25 @@ namespace scv::spec
       while (!frontier.empty() && !stop.load(std::memory_order_acquire))
       {
         std::atomic<size_t> cursor{0};
-        std::vector<WorkerLocal> locals(threads_);
+        std::vector<WorkerLocal> locals(pool_.size());
         for (auto& local : locals)
         {
           local.coverage.assign(spec_.actions.size(), 0);
         }
 
-        const auto work = [&](unsigned w) {
-          run_worker(frontier, cursor, stop, out_of_budget, started, locals[w]);
-        };
-
-        if (threads_ == 1)
-        {
-          work(0);
-        }
-        else
-        {
-          std::vector<std::thread> pool;
-          pool.reserve(threads_);
-          for (unsigned w = 0; w < threads_; ++w)
-          {
-            pool.emplace_back(work, w);
-          }
-          for (auto& t : pool)
-          {
-            t.join();
-          }
-        }
+        pool_.run([&](unsigned w) {
+          run_worker(frontier, cursor, stop, out_of_budget, budget, locals[w]);
+        });
 
         // Level barrier: merge worker stats and splice the next frontier
         // (worker order, then generation order within a worker).
         frontier.clear();
-        for (unsigned w = 0; w < threads_; ++w)
+        for (unsigned w = 0; w < pool_.size(); ++w)
         {
           WorkerLocal& local = locals[w];
           result.stats.generated_states += local.generated;
           result.stats.transitions += local.transitions;
+          result.stats.duplicate_states += local.duplicates;
           result.stats.max_depth =
             std::max(result.stats.max_depth, local.max_depth);
           for (size_t a = 0; a < local.coverage.size(); ++a)
@@ -163,11 +139,11 @@ namespace scv::spec
           result.counterexample->steps.push_back(
             {spec_.actions[v.action].name, *v.successor});
         }
-        finish(result, started, false);
+        finish(result, budget, false);
         return result;
       }
 
-      finish(result, started, !out_of_budget.load(std::memory_order_acquire));
+      finish(result, budget, !out_of_budget.load(std::memory_order_acquire));
       return result;
     }
 
@@ -187,6 +163,7 @@ namespace scv::spec
       std::vector<Item> next;
       uint64_t generated = 0;
       uint64_t transitions = 0;
+      uint64_t duplicates = 0;
       uint64_t max_depth = 0;
       std::vector<uint64_t> coverage; // indexed by action
     };
@@ -202,19 +179,12 @@ namespace scv::spec
       std::optional<S> successor;
     };
 
-    static double elapsed(std::chrono::steady_clock::time_point started)
-    {
-      return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - started)
-        .count();
-    }
-
     void run_worker(
       const std::vector<Item>& frontier,
       std::atomic<size_t>& cursor,
       std::atomic<bool>& stop,
       std::atomic<bool>& out_of_budget,
-      std::chrono::steady_clock::time_point started,
+      const Budget& budget,
       WorkerLocal& local)
     {
       for (;;)
@@ -230,9 +200,7 @@ namespace scv::spec
         }
         const Item& item = frontier[i];
 
-        if (
-          elapsed(started) > limits_.time_budget_seconds ||
-          store_.size() >= limits_.max_distinct_states)
+        if (budget.exhausted(store_.size()))
         {
           out_of_budget.store(true, std::memory_order_release);
           stop.store(true, std::memory_order_release);
@@ -240,8 +208,8 @@ namespace scv::spec
         }
 
         local.max_depth = std::max<uint64_t>(local.max_depth, item.depth);
-        if (!spec_.within_constraint(item.state) ||
-            item.depth >= limits_.max_depth)
+        if (!expander_.within_constraint(item.state) ||
+            budget.depth_exceeded(item.depth))
         {
           continue;
         }
@@ -268,12 +236,8 @@ namespace scv::spec
                 return;
               }
             }
-            const auto ins = store_.insert(
-              next,
-              fingerprint(next),
-              item.id,
-              static_cast<uint32_t>(a),
-              item.depth + 1);
+            const auto ins = expander_.admit(
+              store_, next, item.id, static_cast<uint32_t>(a), item.depth + 1);
             if (ins.inserted)
             {
               for (const auto& inv : spec_.invariants)
@@ -287,6 +251,10 @@ namespace scv::spec
                 }
               }
               local.next.push_back({next, ins.id, item.depth + 1});
+            }
+            else
+            {
+              local.duplicates++;
             }
           });
         }
@@ -308,13 +276,10 @@ namespace scv::spec
       stop.store(true, std::memory_order_release);
     }
 
-    void finish(
-      CheckResult<S>& result,
-      std::chrono::steady_clock::time_point started,
-      bool complete)
+    void finish(CheckResult<S>& result, const Budget& budget, bool complete)
     {
       result.stats.distinct_states = store_.size();
-      result.stats.seconds = elapsed(started);
+      result.stats.seconds = budget.elapsed();
       result.stats.complete = complete;
       if (result.counterexample)
       {
@@ -324,7 +289,8 @@ namespace scv::spec
 
     const SpecDef<S>& spec_;
     CheckLimits limits_;
-    unsigned threads_;
+    Expander<S> expander_;
+    WorkerPool pool_;
     Store store_;
     std::mutex violation_mu_;
     std::optional<Violation> violation_;

@@ -18,14 +18,13 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
-#include <thread>
 #include <vector>
 
-#include "spec/parallel_model_checker.h" // resolve_worker_count
+#include "spec/budget.h"
 #include "spec/simulator.h"
 #include "spec/spec.h"
+#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
@@ -54,7 +53,8 @@ namespace scv::spec
 
     SimResult<S> run()
     {
-      const unsigned threads = resolve_worker_count(options_.threads);
+      const WorkerPool pool(options_.threads);
+      const unsigned threads = pool.size();
       if (threads == 1)
       {
         Simulator<S> sim(spec_, options_);
@@ -69,7 +69,9 @@ namespace scv::spec
         return sim.run();
       }
 
-      const auto started = std::chrono::steady_clock::now();
+      // Workers apply their own (shared-caps) budgets; this one only
+      // times the merged run.
+      const Budget budget(options_.budget_caps());
       std::atomic<bool> stop{false};
       std::vector<SimResult<S>> results(threads);
       std::mutex observer_mu;
@@ -98,16 +100,7 @@ namespace scv::spec
         }
       };
 
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (unsigned w = 0; w < threads; ++w)
-      {
-        pool.emplace_back(work, w);
-      }
-      for (auto& t : pool)
-      {
-        t.join();
-      }
+      pool.run(work);
 
       SimResult<S> merged;
       for (unsigned w = 0; w < threads; ++w)
@@ -123,9 +116,7 @@ namespace scv::spec
         merged.distinct_fingerprints.merge(r.distinct_fingerprints);
       }
       merged.stats.distinct_states = merged.distinct_fingerprints.size();
-      merged.stats.seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - started)
-                               .count();
+      merged.stats.seconds = budget.elapsed();
       merged.stats.complete = false;
       return merged;
     }

@@ -11,12 +11,12 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "spec/budget.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
 #include "util/rng.h"
@@ -59,6 +59,13 @@ namespace scv::spec
     double q_alpha = 0.3; // learning rate
     double q_gamma = 0.7; // discount
     double q_epsilon = 0.1; // exploration probability
+
+    /// The exploration-core budget: work counter = behaviors started, and
+    /// max_depth bounds each walk rather than the whole run.
+    [[nodiscard]] Budget::Caps budget_caps() const
+    {
+      return {time_budget_seconds, max_behaviors, max_depth};
+    }
   };
 
   template <SpecState S>
@@ -108,28 +115,14 @@ namespace scv::spec
 
     SimResult<S> run()
     {
-      const auto started = std::chrono::steady_clock::now();
+      // Time (or the external stop flag) exhausts a behavior mid-walk; the
+      // behavior cap only stops *starting* new walks.
+      Budget budget(options_.budget_caps());
+      budget.set_stop_flag(external_stop_);
       SimResult<S> result;
       std::unordered_set<uint64_t> distinct;
 
-      // Time exhausts a behavior mid-walk; the behavior cap only stops
-      // *starting* new walks.
-      const auto out_of_time = [&] {
-        if (
-          external_stop_ != nullptr &&
-          external_stop_->load(std::memory_order_acquire))
-        {
-          return true;
-        }
-        return std::chrono::duration<double>(
-                 std::chrono::steady_clock::now() - started)
-                 .count() > options_.time_budget_seconds;
-      };
-      const auto out_of_budget = [&] {
-        return out_of_time() || result.behaviors >= options_.max_behaviors;
-      };
-
-      while (!out_of_budget())
+      while (!budget.exhausted(result.behaviors))
       {
         result.behaviors++;
         // Pick an initial state uniformly.
@@ -139,7 +132,7 @@ namespace scv::spec
         std::vector<TraceStep<S>> walk;
         walk.push_back({"<init>", current});
 
-        for (uint64_t depth = 0; depth < options_.max_depth; ++depth)
+        for (uint64_t depth = 0; !budget.depth_exceeded(depth); ++depth)
         {
           if (!spec_.within_constraint(current))
           {
@@ -207,7 +200,7 @@ namespace scv::spec
               result.counterexample = make_cex(walk, prop.name);
               result.counterexample->steps.push_back(
                 {spec_.actions[a].name, next});
-              finish(result, started, distinct);
+              finish(result, budget, distinct);
               return result;
             }
           }
@@ -224,18 +217,18 @@ namespace scv::spec
             {
               result.ok = false;
               result.counterexample = make_cex(walk, inv.name);
-              finish(result, started, distinct);
+              finish(result, budget, distinct);
               return result;
             }
           }
-          if (out_of_time())
+          if (budget.time_exhausted())
           {
             break;
           }
         }
       }
 
-      finish(result, started, distinct);
+      finish(result, budget, distinct);
       return result;
     }
 
@@ -343,12 +336,10 @@ namespace scv::spec
 
     void finish(
       SimResult<S>& result,
-      std::chrono::steady_clock::time_point started,
+      const Budget& budget,
       std::unordered_set<uint64_t>& distinct)
     {
-      result.stats.seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - started)
-                               .count();
+      result.stats.seconds = budget.elapsed();
       result.stats.distinct_states = distinct.size();
       result.stats.complete = false;
       result.distinct_fingerprints = std::move(distinct);

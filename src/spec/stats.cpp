@@ -8,19 +8,25 @@ namespace scv::spec
 {
   double ExplorationStats::states_per_minute() const
   {
+    return states_per_second() * 60.0;
+  }
+
+  double ExplorationStats::states_per_second() const
+  {
     if (seconds <= 0.0)
     {
       return 0.0;
     }
-    return static_cast<double>(generated_states) / seconds * 60.0;
+    return static_cast<double>(generated_states) / seconds;
   }
 
   std::string ExplorationStats::summary() const
   {
     std::ostringstream os;
     os << "distinct=" << distinct_states << " generated=" << generated_states
-       << " transitions=" << transitions << " depth=" << max_depth
-       << " seconds=" << seconds << " states/min=" << states_per_minute()
+       << " transitions=" << transitions << " duplicates=" << duplicate_states
+       << " depth=" << max_depth << " seconds=" << seconds
+       << " states/min=" << states_per_minute()
        << (complete ? " (complete)" : " (bounded)");
     return os.str();
   }
@@ -29,6 +35,7 @@ namespace scv::spec
   {
     generated_states += other.generated_states;
     transitions += other.transitions;
+    duplicate_states += other.duplicate_states;
     max_depth = std::max(max_depth, other.max_depth);
     for (const auto& [name, count] : other.action_coverage)
     {

@@ -14,6 +14,10 @@ namespace scv::spec
     uint64_t distinct_states = 0;
     uint64_t generated_states = 0; // including duplicates
     uint64_t transitions = 0;
+    /// Generated states that dedup'd against an already-known state — the
+    /// fingerprint-store hit count. generated == distinct + duplicate for
+    /// engines that insert every generated state.
+    uint64_t duplicate_states = 0;
     uint64_t max_depth = 0;
     double seconds = 0.0;
     bool complete = false; // exhausted the (constrained) state space
@@ -23,6 +27,7 @@ namespace scv::spec
     std::map<std::string, uint64_t> action_coverage;
 
     [[nodiscard]] double states_per_minute() const;
+    [[nodiscard]] double states_per_second() const;
     [[nodiscard]] std::string summary() const;
     /// One "name: count" line per action, sorted by count descending.
     [[nodiscard]] std::string coverage_report() const;

@@ -1,31 +1,45 @@
-// Generic trace validation engine (§6).
+// Generic trace validation engine (§6), built on the exploration core.
 //
 // Checks T ∩ S ≠ ∅: given a sequence of per-trace-line expanders (each
 // enumerating the spec transitions consistent with that line), search for
 // at least one spec behavior that matches the whole trace. Faults that are
-// not recorded in the trace (message drops) are handled by composing an
-// optional fault expander before each step, mirroring the paper's
+// not recorded in the trace (message drops) are handled by the Expander's
+// fault composition before each step, mirroring the paper's
 // IsFault · Next composition (Listing 5).
 //
 // Two search modes, reproducing §6.4:
 //  * BFS computes the full frontier of candidate spec states line by line —
-//    complete but can explode with nondeterminism;
+//    complete but can explode with nondeterminism. The frontier lives in a
+//    ShardedStateStore (dedup scoped per line by salting the fingerprint
+//    with the line number) whose predecessor links reconstruct a full
+//    witness behavior on success; expansion of each line is split across a
+//    WorkerPool (ValidationOptions::threads, same semantics as
+//    CheckLimits::threads — threads=1 is the bit-identical sequential
+//    reference).
 //  * DFS looks for a single witness behavior with memoized dead ends —
 //    "orders of magnitude faster", which is what made trace validation
-//    usable in CI.
+//    usable in CI. The search runs an explicit frame stack (no recursion),
+//    so production traces of any length cannot overflow the C stack.
 //
 // On failure there is no counterexample (§6.3) — instead the result carries
 // the paper's diagnostics: the deepest line matched, the candidate states
-// at that line (the "unsatisfied breakpoint" view), and per-line frontier
-// sizes.
+// at that line (the "unsatisfied breakpoint" view, capped by
+// max_diagnostic_states in DFS), and per-line frontier sizes.
+//
+// All limits route through Budget (budget_caps()); there is no private
+// deadline arithmetic in this engine.
 #pragma once
 
-#include <chrono>
-#include <optional>
-#include <unordered_map>
+#include <atomic>
 #include <unordered_set>
+#include <vector>
 
+#include "spec/budget.h"
+#include "spec/expander.h"
+#include "spec/sharded_state_store.h"
 #include "spec/spec.h"
+#include "spec/stats.h"
+#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
@@ -58,8 +72,14 @@ namespace scv::spec
     std::string failed_line;
     /// For BFS: frontier size after each line (|T| growth).
     std::vector<size_t> frontier_sizes;
-    /// The witness behavior found (DFS mode, or reconstructed in BFS).
+    /// The witness behavior found: one state per line plus the initial
+    /// state (DFS: the search path; BFS: reconstructed via the store's
+    /// predecessor links). Fault steps are folded into the line they
+    /// precede.
     std::vector<S> witness;
+    /// Unified exploration-core statistics (states/s, dedup counters);
+    /// generated == states_explored, max_depth == lines_matched.
+    ExplorationStats stats;
   };
 
   struct ValidationOptions
@@ -69,6 +89,20 @@ namespace scv::spec
     size_t max_faults_per_step = 0;
     double time_budget_seconds = 1e18;
     uint64_t max_states = UINT64_MAX;
+    /// Worker threads for BFS frontier expansion; same semantics as
+    /// CheckLimits::threads (1 = sequential reference engine, bit-identical
+    /// results; 0 = one worker per hardware thread). DFS chases a single
+    /// witness and always runs sequentially.
+    unsigned threads = 1;
+    /// Cap on the candidate states kept for the deepest-line diagnostics
+    /// (the DFS "unsatisfied breakpoint" view).
+    size_t max_diagnostic_states = 8;
+
+    /// The exploration-core budget: work counter = emitted candidates.
+    [[nodiscard]] Budget::Caps budget_caps() const
+    {
+      return {time_budget_seconds, max_states, UINT64_MAX};
+    }
   };
 
   template <SpecState S>
@@ -85,7 +119,8 @@ namespace scv::spec
     {}
 
     /// Optional fault expander (e.g. "drop any one in-flight message"),
-    /// composed 0..max_faults_per_step times before each line.
+    /// composed 0..max_faults_per_step times before each line. The
+    /// Expander deduplicates the fault closure by fingerprint.
     void set_fault_expander(std::function<void(const S&, const Emit<S>&)> f)
     {
       fault_ = std::move(f);
@@ -93,8 +128,9 @@ namespace scv::spec
 
     ValidationResult<S> run()
     {
-      started_ = std::chrono::steady_clock::now();
+      budget_ = Budget(options_.budget_caps());
       result_ = {};
+      expander_.set_fault(fault_, options_.max_faults_per_step);
       if (options_.mode == SearchMode::Bfs)
       {
         run_bfs();
@@ -103,92 +139,188 @@ namespace scv::spec
       {
         run_dfs();
       }
-      result_.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - started_)
-                          .count();
+      result_.seconds = budget_.elapsed();
+      result_.stats.seconds = result_.seconds;
+      result_.stats.generated_states = result_.states_explored;
+      result_.stats.max_depth = result_.lines_matched;
+      result_.stats.complete =
+        result_.ok || !budget_.exhausted(result_.states_explored);
       return result_;
     }
 
   private:
-    [[nodiscard]] bool out_of_budget() const
+    using Store = ShardedStateStore<S>;
+    using Id = typename Store::Id;
+
+    /// Dedup/memoization key for a candidate state at a given trace
+    /// position; the salt scopes each line's set separately.
+    static uint64_t key(size_t line, uint64_t fp)
     {
-      return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - started_)
-               .count() > options_.time_budget_seconds ||
-        result_.states_explored > options_.max_states;
+      return hash_combine(static_cast<uint64_t>(line) + 1, fp);
     }
 
-    /// Emits `state` and every state reachable from it by up to
-    /// max_faults_per_step applications of the fault expander.
-    void with_faults(const S& state, const Emit<S>& emit)
+    // ---- BFS: full-frontier search, parallel across each line ----
+
+    /// A frontier entry carries a copy of the state so workers never read
+    /// store records while siblings insert (the store's record() contract).
+    struct Item
     {
-      emit(state);
-      if (!fault_ || options_.max_faults_per_step == 0)
-      {
-        return;
-      }
-      std::vector<S> layer = {state};
-      for (size_t k = 0; k < options_.max_faults_per_step; ++k)
-      {
-        std::vector<S> next_layer;
-        for (const S& s : layer)
-        {
-          fault_(s, [&](const S& f) {
-            next_layer.push_back(f);
-            emit(f);
-          });
-        }
-        if (next_layer.empty())
-        {
-          break;
-        }
-        layer = std::move(next_layer);
-      }
-    }
+      S state;
+      Id id;
+    };
+
+    struct Local
+    {
+      std::vector<Item> next;
+      uint64_t duplicates = 0;
+    };
 
     void run_bfs()
     {
-      // Frontier of all candidate states, deduplicated by fingerprint.
-      std::vector<S> frontier = init_;
+      const WorkerPool pool(options_.threads);
+      Store store(
+        pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()));
+
+      std::vector<Item> frontier;
+      for (const S& init : init_)
+      {
+        const auto ins = expander_.admit_keyed(
+          store,
+          init,
+          key(0, expander_.fingerprint_of(init)),
+          Store::no_parent,
+          Store::init_action,
+          0);
+        if (ins.inserted)
+        {
+          frontier.push_back({init, ins.id});
+        }
+      }
+
+      std::atomic<uint64_t> explored{0};
+
       for (size_t line = 0; line < lines_.size(); ++line)
       {
-        std::vector<S> next;
-        std::unordered_set<uint64_t> seen;
-        for (const S& s : frontier)
+        std::atomic<size_t> cursor{0};
+        std::atomic<bool> stop{false};
+        std::vector<Local> locals(pool.size());
+
+        pool.run([&](unsigned w) {
+          expand_line_worker(
+            store, frontier, line, cursor, stop, explored, locals[w]);
+        });
+
+        result_.states_explored = explored.load(std::memory_order_relaxed);
+        std::vector<Item> next;
+        for (Local& local : locals)
         {
-          with_faults(s, [&](const S& pre) {
-            lines_[line].expand(pre, [&](const S& succ) {
-              result_.states_explored++;
-              const uint64_t fp = fingerprint(succ);
-              if (seen.insert(fp).second)
-              {
-                next.push_back(succ);
-              }
-            });
-          });
-          if (out_of_budget())
-          {
-            break;
-          }
+          result_.stats.duplicate_states += local.duplicates;
+          next.insert(
+            next.end(),
+            std::make_move_iterator(local.next.begin()),
+            std::make_move_iterator(local.next.end()));
         }
         result_.frontier_sizes.push_back(next.size());
-        if (next.empty() || out_of_budget())
+
+        if (next.empty() || budget_.exhausted(result_.states_explored))
         {
           result_.ok = false;
           result_.lines_matched = line;
-          result_.frontier_at_failure = std::move(frontier);
+          result_.frontier_at_failure.reserve(frontier.size());
+          for (Item& item : frontier)
+          {
+            result_.frontier_at_failure.push_back(std::move(item.state));
+          }
           result_.failed_line = lines_[line].description;
+          result_.stats.distinct_states = store.size();
           return;
         }
         frontier = std::move(next);
       }
+
       result_.ok = true;
       result_.lines_matched = lines_.size();
       if (!frontier.empty())
       {
-        result_.witness.push_back(frontier.front());
+        // The witness behavior: predecessor links from the first surviving
+        // candidate back to its initial state (pool joined — record() is
+        // safe again).
+        std::vector<S> reversed;
+        for (Id id = frontier.front().id; id != Store::no_parent;
+             id = store.record(id).parent)
+        {
+          reversed.push_back(store.record(id).state);
+        }
+        result_.witness.assign(reversed.rbegin(), reversed.rend());
+      }
+      result_.stats.distinct_states = store.size();
+    }
+
+    void expand_line_worker(
+      Store& store,
+      const std::vector<Item>& frontier,
+      size_t line,
+      std::atomic<size_t>& cursor,
+      std::atomic<bool>& stop,
+      std::atomic<uint64_t>& explored,
+      Local& local)
+    {
+      for (;;)
+      {
+        if (stop.load(std::memory_order_acquire))
+        {
+          return;
+        }
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size())
+        {
+          return;
+        }
+        const Item& item = frontier[i];
+        expander_.with_faults(item.state, [&](const S& pre) {
+          lines_[line].expand(pre, [&](const S& succ) {
+            explored.fetch_add(1, std::memory_order_relaxed);
+            const auto ins = expander_.admit_keyed(
+              store,
+              succ,
+              key(line + 1, expander_.fingerprint_of(succ)),
+              item.id,
+              static_cast<uint32_t>(line),
+              static_cast<uint32_t>(line + 1));
+            if (ins.inserted)
+            {
+              local.next.push_back({succ, ins.id});
+            }
+            else
+            {
+              local.duplicates++;
+            }
+          });
+        });
+        if (budget_.exhausted(explored.load(std::memory_order_relaxed)))
+        {
+          stop.store(true, std::memory_order_release);
+          return;
+        }
       }
     }
+
+    // ---- DFS: single-witness search on an explicit frame stack ----
+
+    struct Frame
+    {
+      size_t line = 0;
+      uint64_t fp = 0;
+      std::vector<S> successors;
+      size_t next = 0;
+    };
+
+    enum class Enter
+    {
+      Matched, // line == lines.size(): the whole trace is matched
+      Fail, // budget, or memoized dead end
+      Entered, // frame pushed; successors expanded
+    };
 
     void run_dfs()
     {
@@ -200,15 +332,15 @@ namespace scv::spec
 
       for (const S& init : init_)
       {
-        std::vector<S> path = {init};
-        if (dfs_step(init, 0, path))
+        std::vector<S> path;
+        if (dfs_from(init, path))
         {
           result_.ok = true;
           result_.lines_matched = lines_.size();
           result_.witness = std::move(path);
           return;
         }
-        if (out_of_budget())
+        if (budget_.exhausted(result_.states_explored))
         {
           break;
         }
@@ -222,54 +354,96 @@ namespace scv::spec
       }
     }
 
-    bool dfs_step(const S& state, size_t line, std::vector<S>& path)
+    /// Iterative depth-first search from one initial state. path mirrors
+    /// the frame stack (path[i] is the state entered at line i), so on a
+    /// match it is exactly the witness behavior.
+    bool dfs_from(const S& init, std::vector<S>& path)
+    {
+      path = {init};
+      std::vector<Frame> stack;
+      {
+        Frame root;
+        switch (enter(init, 0, root))
+        {
+          case Enter::Matched:
+            return true;
+          case Enter::Fail:
+            return false;
+          case Enter::Entered:
+            stack.push_back(std::move(root));
+            break;
+        }
+      }
+      while (!stack.empty())
+      {
+        Frame& top = stack.back();
+        if (top.next == top.successors.size())
+        {
+          // Post-order: every successor failed. Memoize the dead end and
+          // backtrack.
+          dead_.insert(key(top.line, top.fp));
+          stack.pop_back();
+          path.pop_back();
+          continue;
+        }
+        const S& succ = top.successors[top.next++];
+        path.push_back(succ);
+        Frame child;
+        switch (enter(succ, top.line + 1, child))
+        {
+          case Enter::Matched:
+            return true;
+          case Enter::Fail:
+            path.pop_back();
+            break;
+          case Enter::Entered:
+            // Invalidates `top` and `succ`; neither is used again.
+            stack.push_back(std::move(child));
+            break;
+        }
+      }
+      return false;
+    }
+
+    /// The per-node prologue of the search: match/budget/dead checks,
+    /// deepest-line diagnostics, successor expansion.
+    Enter enter(const S& state, size_t line, Frame& out)
     {
       if (line == lines_.size())
       {
-        return true;
+        return Enter::Matched;
       }
-      if (out_of_budget())
+      if (budget_.exhausted(result_.states_explored))
       {
-        return false;
+        return Enter::Fail;
       }
-      const uint64_t fp = fingerprint(state);
+      const uint64_t fp = expander_.fingerprint_of(state);
       if (dead_.contains(key(line, fp)))
       {
-        return false;
+        result_.stats.duplicate_states++;
+        return Enter::Fail;
       }
       if (line > deepest_line_)
       {
         deepest_line_ = line;
         deepest_frontier_.clear();
       }
-      if (line == deepest_line_ && deepest_frontier_.size() < 8)
+      if (
+        line == deepest_line_ &&
+        deepest_frontier_.size() < options_.max_diagnostic_states)
       {
         deepest_frontier_.push_back(state);
       }
-
-      std::vector<S> successors;
-      with_faults(state, [&](const S& pre) {
+      result_.stats.distinct_states++;
+      out.line = line;
+      out.fp = fp;
+      expander_.with_faults(state, [&](const S& pre) {
         lines_[line].expand(pre, [&](const S& succ) {
           result_.states_explored++;
-          successors.push_back(succ);
+          out.successors.push_back(succ);
         });
       });
-      for (const S& succ : successors)
-      {
-        path.push_back(succ);
-        if (dfs_step(succ, line + 1, path))
-        {
-          return true;
-        }
-        path.pop_back();
-      }
-      dead_.insert(key(line, fp));
-      return false;
-    }
-
-    static uint64_t key(size_t line, uint64_t fp)
-    {
-      return hash_combine(static_cast<uint64_t>(line) + 1, fp);
+      return Enter::Entered;
     }
 
     std::vector<S> init_;
@@ -277,7 +451,8 @@ namespace scv::spec
     ValidationOptions options_;
     std::function<void(const S&, const Emit<S>&)> fault_;
 
-    std::chrono::steady_clock::time_point started_;
+    Budget budget_;
+    Expander<S> expander_;
     ValidationResult<S> result_;
     std::unordered_set<uint64_t> dead_;
     size_t deepest_line_ = 0;

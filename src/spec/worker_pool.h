@@ -1,0 +1,68 @@
+// Fork-join worker pool shared by the parallel engines.
+//
+// The parallel model checker (per exploration level), the parallel
+// simulator (one seeded walk stream per worker) and the parallel trace
+// validator (per trace line) all need the same primitive: run fn(w) for
+// w in [0, size()) and wait for everyone. This type owns that pattern —
+// including the two conventions every engine must agree on:
+//   * requested == 0 means one worker per hardware thread;
+//   * size() == 1 runs fn inline on the calling thread, so a single-worker
+//     "pool" is exactly the sequential engine (no thread is spawned, no
+//     memory ordering is in play, results are bit-identical).
+#pragma once
+
+#include <thread>
+#include <vector>
+
+namespace scv::spec
+{
+  /// 0 -> one worker per hardware thread (at least one).
+  inline unsigned resolve_worker_count(unsigned requested)
+  {
+    if (requested != 0)
+    {
+      return requested;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  class WorkerPool
+  {
+  public:
+    explicit WorkerPool(unsigned requested) :
+      threads_(resolve_worker_count(requested))
+    {}
+
+    [[nodiscard]] unsigned size() const
+    {
+      return threads_;
+    }
+
+    /// Runs fn(w) for every worker index and joins before returning. The
+    /// barrier is the point: after run() the caller may touch shared state
+    /// (stores, local result slices) without synchronization.
+    template <class F>
+    void run(F&& fn) const
+    {
+      if (threads_ == 1)
+      {
+        fn(0u);
+        return;
+      }
+      std::vector<std::thread> pool;
+      pool.reserve(threads_);
+      for (unsigned w = 0; w < threads_; ++w)
+      {
+        pool.emplace_back(fn, w);
+      }
+      for (auto& t : pool)
+      {
+        t.join();
+      }
+    }
+
+  private:
+    unsigned threads_;
+  };
+}

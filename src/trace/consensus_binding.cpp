@@ -652,24 +652,19 @@ namespace scv::trace
     ConsensusValidationOptions options)
   {
     const auto events = preprocess(raw_events);
-    auto lines = bind_consensus_trace(events, params);
+    spec::ValidationOptions search = options.search;
+    if (options.fault_composition && search.max_faults_per_step == 0)
+    {
+      // The caller asked for fault composition but left the bound at
+      // zero; one fault per line is the paper's default shape.
+      search.max_faults_per_step = 1;
+    }
     spec::TraceValidator<State> validator(
       {specs::ccfraft::initial_state(params)},
-      std::move(lines),
-      options.search);
+      bind_consensus_trace(events, params),
+      search);
     if (options.fault_composition)
     {
-      if (options.search.max_faults_per_step == 0)
-      {
-        // The caller asked for fault composition but left the bound at
-        // zero; one fault per line is the paper's default shape.
-        spec::ValidationOptions patched = options.search;
-        patched.max_faults_per_step = 1;
-        validator = spec::TraceValidator<State>(
-          {specs::ccfraft::initial_state(params)},
-          bind_consensus_trace(events, params),
-          patched);
-      }
       const Params p = params;
       validator.set_fault_expander(
         [p](const State& s, const Emit<State>& emit) {

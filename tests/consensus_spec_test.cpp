@@ -170,7 +170,7 @@ TEST(ConsensusSpecMC, TwoNodeModelExhaustivelySafe)
   const auto spec = build_spec(p);
   CheckLimits limits;
   limits.max_distinct_states = 2'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = model_check(spec, limits);
   EXPECT_TRUE(result.ok)
     << (result.counterexample ? result.counterexample->to_string() : "");
@@ -197,7 +197,7 @@ TEST(ConsensusSpecMC, AllBootstrapInitialStatesSafe)
   ASSERT_EQ(spec.init.size(), 4u);
   spec::CheckLimits limits;
   limits.max_distinct_states = 2'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = spec::model_check(spec, limits);
   EXPECT_TRUE(result.ok)
     << (result.counterexample ? result.counterexample->to_string() : "");
@@ -419,7 +419,7 @@ TEST(ConsensusSpecReachability, RetirementCompletionIsReachable)
   p.allowed_reconfigs = {0b10};
   spec::CheckLimits limits;
   limits.max_distinct_states = 2'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = spec::find_reachable<State>(
     build_spec(p),
     "RetirementCompletes",
@@ -529,7 +529,7 @@ TEST(ConsensusSpecBug4, ModelCheckingFindsCommitRegression)
   const auto spec = build_spec(p);
   CheckLimits limits;
   limits.max_distinct_states = 1'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = model_check(spec, limits);
   ASSERT_FALSE(result.ok);
   EXPECT_TRUE(
@@ -543,7 +543,7 @@ TEST(ConsensusSpecBug4, FixedModelHasNoViolation)
   const auto spec = build_spec(truncate_bug_model());
   CheckLimits limits;
   limits.max_distinct_states = 1'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = model_check(spec, limits);
   EXPECT_TRUE(result.ok)
     << (result.counterexample ? result.counterexample->to_string() : "");
@@ -569,7 +569,7 @@ TEST(ConsensusSpecBadFix, ModelCheckingFindsMonoLogViolation)
   const auto spec = build_spec(p);
   CheckLimits limits;
   limits.max_distinct_states = 2'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = model_check(spec, limits);
   ASSERT_FALSE(result.ok);
   EXPECT_EQ(result.counterexample->property, "MonoLogInv");
@@ -946,7 +946,7 @@ TEST(ConsensusSpecBug6, FixedRetirementCanComplete)
      }});
   CheckLimits limits;
   limits.max_distinct_states = 2'000'000;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   const auto result = model_check(spec, limits);
   ASSERT_FALSE(result.ok);
   EXPECT_EQ(result.counterexample->property, "NeverCompletes");

@@ -392,7 +392,7 @@ TEST(ParallelModelChecker, ConsensusBugFoundAtOneAndFourWorkers)
   {
     CheckLimits limits;
     limits.threads = threads;
-    limits.time_budget_seconds = 120.0;
+    limits.time_budget_seconds = 600.0;
     const auto result = model_check(spec, limits);
     ASSERT_FALSE(result.ok) << "threads=" << threads;
     ASSERT_TRUE(result.counterexample.has_value());
@@ -412,7 +412,7 @@ TEST(ParallelModelChecker, ConsensusCleanSpecSameCoverageAtFourWorkers)
 {
   const auto spec = specs::ccfraft::build_spec(nack_bug_model(false));
   CheckLimits limits;
-  limits.time_budget_seconds = 120.0;
+  limits.time_budget_seconds = 600.0;
   limits.threads = 1;
   const auto one = model_check(spec, limits);
   limits.threads = 4;

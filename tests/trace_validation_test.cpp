@@ -203,6 +203,37 @@ TEST(TraceValidation, DfsAndBfsAgree)
   EXPECT_EQ(r_dfs.lines_matched, r_bfs.lines_matched);
 }
 
+TEST(TraceValidation, ParallelBfsMatchesSequentialOnConsensusTrace)
+{
+  // A real consensus trace with an election (nondeterministic frontier):
+  // the parallel BFS frontier must reproduce the sequential verdict,
+  // per-line frontier sizes, work count, and full witness length.
+  Cluster c(three_nodes(113));
+  c.submit("x");
+  c.sign();
+  for (int i = 0; i < 25; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  const auto p = params_for(three_nodes(113), 3);
+
+  ConsensusValidationOptions bfs;
+  bfs.search.mode = spec::SearchMode::Bfs;
+  bfs.search.threads = 1;
+  const auto seq = validate_consensus_trace(c.trace(), p, bfs);
+  bfs.search.threads = 4;
+  const auto par = validate_consensus_trace(c.trace(), p, bfs);
+
+  ASSERT_TRUE(seq.ok) << diagnose(seq);
+  ASSERT_TRUE(par.ok) << diagnose(par);
+  EXPECT_EQ(seq.lines_matched, par.lines_matched);
+  EXPECT_EQ(seq.frontier_sizes, par.frontier_sizes);
+  EXPECT_EQ(seq.states_explored, par.states_explored);
+  EXPECT_EQ(seq.witness.size(), par.witness.size());
+  EXPECT_EQ(seq.witness.size(), preprocess(c.trace()).size() + 1);
+}
+
 TEST(TraceValidation, CorruptedCommitIndexRejected)
 {
   Cluster c(three_nodes(115));

@@ -8,10 +8,7 @@
 // We sweep the per-line fault budget (composed drop/duplicate steps, the
 // IsFault · Next of Listing 5): each extra fault multiplies the BFS
 // frontier while DFS keeps finding its single witness.
-#include <atomic>
 #include <cstdio>
-#include <thread>
-#include <vector>
 
 #include "bench_util.h"
 #include "driver/cluster.h"
@@ -127,51 +124,41 @@ int main()
       secs);
   }
 
-  // Trace validations are embarrassingly parallel across traces (the paper
-  // validates every CI run's trace); measure aggregate DFS validation
-  // throughput with T concurrent validations of the same trace.
-  std::printf("\nConcurrent DFS validations (1 per worker, faults/line=1):\n");
-  const auto events = c.trace();
+  // Work-stealing parallel DFS over ONE trace: workers push expanded
+  // subtrees to their own deque bottoms and steal from the top of a
+  // victim's when idle, sharing the (line, fingerprint) dead-end memo.
+  // This measures genuine single-validation speedup, not N copies of the
+  // same search racing each other (which an earlier version of this
+  // bench did — that only ever measured duplicated work).
+  std::printf("\nWork-stealing parallel DFS (faults/line=2):\n");
   for (const unsigned threads : thread_sweep())
   {
-    std::atomic<uint64_t> total_states{0};
-    std::atomic<bool> all_ok{true};
+    trace::ConsensusValidationOptions options;
+    options.search.mode = spec::SearchMode::Dfs;
+    options.search.max_faults_per_step = 2;
+    options.search.time_budget_seconds = 60.0;
+    options.search.threads = threads;
+    options.fault_composition = true;
     Stopwatch sw;
-    std::vector<std::thread> pool;
-    for (unsigned w = 0; w < threads; ++w)
-    {
-      pool.emplace_back([&] {
-        trace::ConsensusValidationOptions options;
-        options.search.mode = spec::SearchMode::Dfs;
-        options.search.max_faults_per_step = 1;
-        options.search.time_budget_seconds = 60.0;
-        options.fault_composition = true;
-        const auto r = trace::validate_consensus_trace(events, params, options);
-        total_states.fetch_add(r.states_explored, std::memory_order_relaxed);
-        if (!r.ok)
-        {
-          all_ok.store(false, std::memory_order_relaxed);
-        }
-      });
-    }
-    for (auto& t : pool)
-    {
-      t.join();
-    }
+    const auto r = trace::validate_consensus_trace(c.trace(), params, options);
     const double secs = sw.seconds();
-    const uint64_t states = total_states.load();
     std::printf(
-      "  threads=%-2u %u validations in %.3fs (%s states/s aggregate)%s\n",
+      "  threads=%-2u %10s %14llu states %9.3fs (%s states/s)"
+      " memo_hits=%llu steals=%llu\n",
       threads,
-      threads,
+      r.ok ? "valid" : (secs >= 59.0 ? "TIMEOUT" : "invalid"),
+      static_cast<unsigned long long>(r.states_explored),
       secs,
-      magnitude(secs > 0 ? static_cast<double>(states) / secs : 0.0).c_str(),
-      all_ok.load() ? "" : "  ** INVALID **");
+      magnitude(
+        secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0)
+        .c_str(),
+      static_cast<unsigned long long>(r.stats.memo_hits),
+      static_cast<unsigned long long>(r.stats.steals));
     report.add_run(
-      "concurrent_dfs_validation",
+      "workstealing_dfs_validation",
       threads,
-      secs > 0 ? static_cast<double>(states) / secs : 0.0,
-      states,
+      secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
+      r.states_explored,
       secs);
   }
   report.write();

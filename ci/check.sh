@@ -33,4 +33,13 @@ echo "=== tsan trace-validation smoke (threads=1) ==="
 echo "=== tsan trace-validation smoke (threads=4) ==="
 ./build-tsan/examples/trace_validate_demo --threads=4
 
+# Work-stealing DFS smoke: same pipeline, DFS engine only — threads=1
+# takes the sequential reference path, threads=4 runs the stealable-deque
+# search with the shared dead-end memo (racy deque or memo handling shows
+# up here).
+echo "=== tsan work-stealing dfs smoke (threads=1) ==="
+./build-tsan/examples/trace_validate_demo --mode=dfs --threads=1
+echo "=== tsan work-stealing dfs smoke (threads=4) ==="
+./build-tsan/examples/trace_validate_demo --mode=dfs --threads=4
+
 echo "=== ci/check.sh: all variants passed ==="

@@ -3,18 +3,22 @@
 // then corrupt one line and watch validation fail with the paper's
 // "unsatisfied state" diagnostics.
 //
-//   ./trace_validate_demo [--threads=N] [--max-diagnostics=K]
-//                         [trace-output.jsonl]
+//   ./trace_validate_demo [--mode=all|dfs|bfs] [--threads=N] [--prune]
+//                         [--max-diagnostics=K] [trace-output.jsonl]
 //
-// --threads selects the BFS worker count (ValidationOptions::threads;
-// 1 = the sequential reference engine, 0 = hardware concurrency). DFS is
-// always sequential, so the flag demonstrates the two BFS configurations
-// CI smokes under ThreadSanitizer. --max-diagnostics caps the candidate
-// states kept for the unsatisfied-state report
-// (ValidationOptions::max_diagnostic_states).
+// --threads selects the worker count (ValidationOptions::threads; 1 = the
+// sequential reference engine, 0 = hardware concurrency). It applies to
+// both engines: BFS splits each line's frontier across the fork-join
+// pool; DFS at threads > 1 runs the work-stealing search with the shared
+// dead-end memo. --mode narrows the run to one engine — CI smokes
+// `--mode=dfs` at threads 1 and 4 under ThreadSanitizer. --prune enables
+// the store-backed BFS memory mode (frontier-only predecessor chains).
+// --max-diagnostics caps the candidate states kept for the
+// unsatisfied-state report (ValidationOptions::max_diagnostic_states).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "driver/cluster.h"
 #include "trace/consensus_binding.h"
@@ -28,12 +32,27 @@ int main(int argc, char** argv)
 {
   unsigned threads = 1;
   size_t max_diagnostics = 8;
+  std::string mode = "all";
+  bool prune = false;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i)
   {
     if (std::strncmp(argv[i], "--threads=", 10) == 0)
     {
       threads = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+    else if (std::strncmp(argv[i], "--mode=", 7) == 0)
+    {
+      mode = argv[i] + 7;
+      if (mode != "all" && mode != "dfs" && mode != "bfs")
+      {
+        std::fprintf(stderr, "unknown --mode=%s (all|dfs|bfs)\n", mode.c_str());
+        return 2;
+      }
+    }
+    else if (std::strcmp(argv[i], "--prune") == 0)
+    {
+      prune = true;
     }
     else if (std::strncmp(argv[i], "--max-diagnostics=", 18) == 0)
     {
@@ -44,6 +63,8 @@ int main(int argc, char** argv)
       trace_path = argv[i];
     }
   }
+  const bool run_dfs = mode != "bfs";
+  const bool run_bfs = mode != "dfs";
 
   // 1. Run a scenario that exercises replication, an election, and
   //    catch-up.
@@ -93,36 +114,49 @@ int main(int argc, char** argv)
   const auto params = trace::validation_params({1, 2, 3}, 1, 3);
   trace::ConsensusValidationOptions vopts;
   vopts.search.max_diagnostic_states = max_diagnostics;
-  const auto result = trace::validate_consensus_trace(c.trace(), params, vopts);
-  std::printf(
-    "validation (DFS): %s — %zu/%zu lines matched, %llu states explored, "
-    "%.3fs\n",
-    result.ok ? "VALID" : "INVALID",
-    result.lines_matched,
-    events.size(),
-    static_cast<unsigned long long>(result.states_explored),
-    result.seconds);
-  if (!result.ok)
+  vopts.search.threads = threads;
+  if (run_dfs)
   {
-    return 1;
+    const auto result =
+      trace::validate_consensus_trace(c.trace(), params, vopts);
+    std::printf(
+      "validation (DFS, threads=%u): %s — %zu/%zu lines matched, %llu states "
+      "explored, witness of %zu states, %.3fs (memo_hits=%llu steals=%llu)\n",
+      threads,
+      result.ok ? "VALID" : "INVALID",
+      result.lines_matched,
+      events.size(),
+      static_cast<unsigned long long>(result.states_explored),
+      result.witness.size(),
+      result.seconds,
+      static_cast<unsigned long long>(result.stats.memo_hits),
+      static_cast<unsigned long long>(result.stats.steals));
+    if (!result.ok)
+    {
+      return 1;
+    }
   }
 
-  vopts.search.mode = spec::SearchMode::Bfs;
-  vopts.search.threads = threads;
-  const auto bfs = trace::validate_consensus_trace(c.trace(), params, vopts);
-  std::printf(
-    "validation (BFS, threads=%u): %s — %zu/%zu lines matched, %llu states "
-    "explored, witness of %zu states, %.3fs\n",
-    threads,
-    bfs.ok ? "VALID" : "INVALID",
-    bfs.lines_matched,
-    events.size(),
-    static_cast<unsigned long long>(bfs.states_explored),
-    bfs.witness.size(),
-    bfs.seconds);
-  if (!bfs.ok)
+  if (run_bfs)
   {
-    return 1;
+    vopts.search.mode = spec::SearchMode::Bfs;
+    vopts.search.prune_bfs_store = prune;
+    const auto bfs = trace::validate_consensus_trace(c.trace(), params, vopts);
+    std::printf(
+      "validation (BFS, threads=%u%s): %s — %zu/%zu lines matched, %llu "
+      "states explored, witness of %zu states, %.3fs\n",
+      threads,
+      prune ? ", pruned store" : "",
+      bfs.ok ? "VALID" : "INVALID",
+      bfs.lines_matched,
+      events.size(),
+      static_cast<unsigned long long>(bfs.states_explored),
+      bfs.witness.size(),
+      bfs.seconds);
+    if (!bfs.ok)
+    {
+      return 1;
+    }
   }
 
   // 3. Corrupt one advanceCommit line ("bogus logging", §6.3) and re-run.
@@ -140,7 +174,8 @@ int main(int argc, char** argv)
       break;
     }
   }
-  vopts.search.mode = spec::SearchMode::Dfs;
+  vopts.search.mode =
+    run_dfs ? spec::SearchMode::Dfs : spec::SearchMode::Bfs;
   const auto bad = trace::validate_consensus_trace(corrupted, params, vopts);
   std::printf(
     "validation: %s — matched %zu lines, then failed at:\n  %s\n",

@@ -30,12 +30,78 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "spec/spec.h"
 
 namespace scv::spec
 {
+  /// Lock-striped set of 64-bit keys — the store's striping pattern
+  /// without records. Used where parallel workers share a pure
+  /// membership table rather than full states: the work-stealing DFS
+  /// trace validator's (line, fingerprint) dead-end memo, where one
+  /// worker's proven-dead subtree must prune every other worker's
+  /// search. Same contract as the store: insert() and contains() may be
+  /// called from any thread; stripe selection mixes the high half of the
+  /// key into the low bits.
+  class StripedKeySet
+  {
+  public:
+    explicit StripedKeySet(size_t stripe_count = 1)
+    {
+      size_t n = 1;
+      while (n < stripe_count)
+      {
+        n <<= 1;
+      }
+      mask_ = n - 1;
+      stripes_ = std::vector<Stripe>(n);
+    }
+
+    /// Inserts the key; returns true iff it was not already present.
+    bool insert(uint64_t key)
+    {
+      Stripe& stripe = stripes_[stripe_of(key)];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      return stripe.keys.insert(key).second;
+    }
+
+    [[nodiscard]] bool contains(uint64_t key) const
+    {
+      const Stripe& stripe = stripes_[stripe_of(key)];
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      return stripe.keys.contains(key);
+    }
+
+    /// Exact when quiescent; a lower bound while writers run.
+    [[nodiscard]] size_t size() const
+    {
+      size_t total = 0;
+      for (const Stripe& stripe : stripes_)
+      {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        total += stripe.keys.size();
+      }
+      return total;
+    }
+
+  private:
+    struct Stripe
+    {
+      mutable std::mutex mu;
+      std::unordered_set<uint64_t> keys;
+    };
+
+    [[nodiscard]] size_t stripe_of(uint64_t key) const
+    {
+      return static_cast<size_t>((key ^ (key >> 32)) & mask_);
+    }
+
+    std::vector<Stripe> stripes_;
+    uint64_t mask_ = 0;
+  };
+
   template <SpecState S>
   class ShardedStateStore
   {

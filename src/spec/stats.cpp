@@ -25,6 +25,7 @@ namespace scv::spec
     std::ostringstream os;
     os << "distinct=" << distinct_states << " generated=" << generated_states
        << " transitions=" << transitions << " duplicates=" << duplicate_states
+       << " memo_hits=" << memo_hits << " steals=" << steals
        << " depth=" << max_depth << " seconds=" << seconds
        << " states/min=" << states_per_minute()
        << (complete ? " (complete)" : " (bounded)");
@@ -36,6 +37,8 @@ namespace scv::spec
     generated_states += other.generated_states;
     transitions += other.transitions;
     duplicate_states += other.duplicate_states;
+    memo_hits += other.memo_hits;
+    steals += other.steals;
     max_depth = std::max(max_depth, other.max_depth);
     for (const auto& [name, count] : other.action_coverage)
     {

@@ -18,6 +18,16 @@ namespace scv::spec
     /// fingerprint-store hit count. generated == distinct + duplicate for
     /// engines that insert every generated state.
     uint64_t duplicate_states = 0;
+    /// DFS trace validation: dead-end memo lookups that pruned a whole
+    /// subtree (also counted in duplicate_states). In the work-stealing
+    /// parallel DFS these include prunes seeded by *other* workers'
+    /// proven-dead subtrees — the cross-worker sharing the shared memo
+    /// table buys.
+    uint64_t memo_hits = 0;
+    /// Work-stealing engines: work items taken from another worker's
+    /// deque. Zero for sequential runs and for engines on the fork-join
+    /// pool.
+    uint64_t steals = 0;
     uint64_t max_depth = 0;
     double seconds = 0.0;
     bool complete = false; // exhausted the (constrained) state space

@@ -19,7 +19,14 @@
 //  * DFS looks for a single witness behavior with memoized dead ends —
 //    "orders of magnitude faster", which is what made trace validation
 //    usable in CI. The search runs an explicit frame stack (no recursion),
-//    so production traces of any length cannot overflow the C stack.
+//    so production traces of any length cannot overflow the C stack. At
+//    threads > 1 the same search runs work-stealing: workers own deques of
+//    unexplored subtrees (work_stealing_pool.h), the (line, fingerprint)
+//    dead-end memo is a shared lock-striped StripedKeySet so one worker's
+//    proven-dead subtree prunes everyone, and the first witness wins via
+//    the Budget cooperative-stop flag. threads = 1 takes the sequential
+//    code path unchanged — bit-identical verdicts, witness, and
+//    diagnostics.
 //
 // On failure there is no counterexample (§6.3) — instead the result carries
 // the paper's diagnostics: the deepest line matched, the candidate states
@@ -30,7 +37,10 @@
 // deadline arithmetic in this engine.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -39,6 +49,7 @@
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
+#include "spec/work_stealing_pool.h"
 #include "spec/worker_pool.h"
 
 namespace scv::spec
@@ -89,11 +100,21 @@ namespace scv::spec
     size_t max_faults_per_step = 0;
     double time_budget_seconds = 1e18;
     uint64_t max_states = UINT64_MAX;
-    /// Worker threads for BFS frontier expansion; same semantics as
-    /// CheckLimits::threads (1 = sequential reference engine, bit-identical
-    /// results; 0 = one worker per hardware thread). DFS chases a single
-    /// witness and always runs sequentially.
+    /// Worker threads; same semantics as CheckLimits::threads (1 =
+    /// sequential reference engine, bit-identical results; 0 = one worker
+    /// per hardware thread). BFS splits each line's frontier across the
+    /// fork-join pool; DFS at threads > 1 runs a work-stealing search over
+    /// independent subtrees with a shared dead-end memo (first witness
+    /// wins — same verdict, possibly a different witness among equals).
     unsigned threads = 1;
+    /// BFS only: retain predecessor chains only for the live frontier
+    /// (ROADMAP "store-backed BFS memory"). The sharded store is cleared
+    /// after every line — it then holds one line's frontier instead of
+    /// every line's — and witness reconstruction walks refcounted per-item
+    /// parent chains, which free dead branches as the frontier moves on.
+    /// Verdict, frontier sizes, work counts, and the witness are unchanged;
+    /// memory on long chaotic traces is bounded by the live frontier.
+    bool prune_bfs_store = false;
     /// Cap on the candidate states kept for the deepest-line diagnostics
     /// (the DFS "unsatisfied breakpoint" view).
     size_t max_diagnostic_states = 8;
@@ -135,9 +156,13 @@ namespace scv::spec
       {
         run_bfs();
       }
-      else
+      else if (resolve_worker_count(options_.threads) == 1)
       {
         run_dfs();
+      }
+      else
+      {
+        run_dfs_parallel();
       }
       result_.seconds = budget_.elapsed();
       result_.stats.seconds = result_.seconds;
@@ -161,12 +186,43 @@ namespace scv::spec
 
     // ---- BFS: full-frontier search, parallel across each line ----
 
+    /// Node of a refcounted predecessor chain, used when prune_bfs_store
+    /// retires store records: each live frontier item keeps its own path
+    /// back to an initial state, shared prefixes are shared, and a dead
+    /// branch's suffix frees as soon as its last descendant leaves the
+    /// frontier.
+    struct PathNode
+    {
+      S state;
+      std::shared_ptr<PathNode> parent;
+    };
+
+    /// Releases a parent chain iteratively, stopping at the first node
+    /// someone else still references. A plain drop of the last reference
+    /// to a deep chain would run ~depth nested destructors (each node
+    /// holds the shared_ptr to its parent) and overflow the C stack on
+    /// ~100k-line traces — the exact failure mode the iterative DFS was
+    /// built to avoid.
+    template <class Node>
+    static void release_chain(std::shared_ptr<Node>&& node)
+    {
+      while (node != nullptr && node.use_count() == 1)
+      {
+        std::shared_ptr<Node> parent = std::move(node->parent);
+        node.reset();
+        node = std::move(parent);
+      }
+      node.reset();
+    }
+
     /// A frontier entry carries a copy of the state so workers never read
     /// store records while siblings insert (the store's record() contract).
     struct Item
     {
       S state;
       Id id;
+      /// Only populated under prune_bfs_store.
+      std::shared_ptr<PathNode> chain;
     };
 
     struct Local
@@ -193,10 +249,19 @@ namespace scv::spec
           0);
         if (ins.inserted)
         {
-          frontier.push_back({init, ins.id});
+          frontier.push_back(
+            {init,
+             ins.id,
+             options_.prune_bfs_store ?
+               std::make_shared<PathNode>(PathNode{init, nullptr}) :
+               nullptr});
         }
       }
 
+      // Under prune_bfs_store the store is cleared per line; this
+      // accumulates the per-line counts so distinct_states still reports
+      // the whole run.
+      uint64_t pruned_distinct = 0;
       std::atomic<uint64_t> explored{0};
 
       for (size_t line = 0; line < lines_.size(); ++line)
@@ -232,8 +297,18 @@ namespace scv::spec
             result_.frontier_at_failure.push_back(std::move(item.state));
           }
           result_.failed_line = lines_[line].description;
-          result_.stats.distinct_states = store.size();
+          result_.stats.distinct_states = pruned_distinct + store.size();
+          release_frontier_chains(frontier);
+          release_frontier_chains(next);
           return;
+        }
+        if (options_.prune_bfs_store)
+        {
+          // The dead lines' records have served their dedup purpose;
+          // retire them. Surviving paths live on in the items' chains.
+          pruned_distinct += store.size();
+          store.clear();
+          release_frontier_chains(frontier);
         }
         frontier = std::move(next);
       }
@@ -244,16 +319,40 @@ namespace scv::spec
       {
         // The witness behavior: predecessor links from the first surviving
         // candidate back to its initial state (pool joined — record() is
-        // safe again).
+        // safe again). Pruned runs walk the item's own chain instead of
+        // the retired store records; both paths are first-inserter-wins,
+        // so threads = 1 yields the identical witness either way.
         std::vector<S> reversed;
-        for (Id id = frontier.front().id; id != Store::no_parent;
-             id = store.record(id).parent)
+        if (options_.prune_bfs_store)
         {
-          reversed.push_back(store.record(id).state);
+          for (const PathNode* node = frontier.front().chain.get();
+               node != nullptr;
+               node = node->parent.get())
+          {
+            reversed.push_back(node->state);
+          }
+        }
+        else
+        {
+          for (Id id = frontier.front().id; id != Store::no_parent;
+               id = store.record(id).parent)
+          {
+            reversed.push_back(store.record(id).state);
+          }
         }
         result_.witness.assign(reversed.rbegin(), reversed.rend());
       }
-      result_.stats.distinct_states = store.size();
+      result_.stats.distinct_states = pruned_distinct + store.size();
+      release_frontier_chains(frontier);
+    }
+
+    /// Drops every item's chain without recursing down shared suffixes.
+    void release_frontier_chains(std::vector<Item>& items)
+    {
+      for (Item& item : items)
+      {
+        release_chain(std::move(item.chain));
+      }
     }
 
     void expand_line_worker(
@@ -289,7 +388,12 @@ namespace scv::spec
               static_cast<uint32_t>(line + 1));
             if (ins.inserted)
             {
-              local.next.push_back({succ, ins.id});
+              local.next.push_back(
+                {succ,
+                 ins.id,
+                 options_.prune_bfs_store ?
+                   std::make_shared<PathNode>(PathNode{succ, item.chain}) :
+                   nullptr});
             }
             else
             {
@@ -421,6 +525,7 @@ namespace scv::spec
       if (dead_.contains(key(line, fp)))
       {
         result_.stats.duplicate_states++;
+        result_.stats.memo_hits++;
         return Enter::Fail;
       }
       if (line > deepest_line_)
@@ -444,6 +549,297 @@ namespace scv::spec
         });
       });
       return Enter::Entered;
+    }
+
+    // ---- DFS, threads > 1: work-stealing search over independent
+    // subtrees. Each worker's deque bottom is its DFS stack; idle workers
+    // steal the shallowest (largest) subtree from a victim's top. The
+    // dead-end memo is the shared StripedKeySet, so a subtree proven dead
+    // by one worker prunes every other worker's search, and the first
+    // witness wins through the Budget cooperative-stop flag. ----
+
+    /// A node of the parallel search tree: the state reached after
+    /// matching `line` lines, linked to the path that got there. Tasks
+    /// are the unit of stealing; the parent chain doubles as the witness
+    /// path and as the completion tree for dead-end detection.
+    struct Task
+    {
+      S state;
+      size_t line = 0;
+      std::shared_ptr<Task> parent;
+      /// Set by the expanding worker before any child is published; the
+      /// deque mutex orders it for whichever worker later resolves the
+      /// subtree.
+      uint64_t fp = 0;
+      /// Children whose subtrees are still unresolved. The worker that
+      /// fails the last one proves this node dead, memoizes it, and
+      /// propagates upward — the parallel analogue of the sequential
+      /// post-order memoization.
+      std::atomic<size_t> pending{0};
+    };
+    using TaskPtr = std::shared_ptr<Task>;
+
+    struct DfsShared
+    {
+      WorkStealingDeques<TaskPtr> deques;
+      StripedKeySet dead;
+      std::atomic<uint64_t> explored{0};
+      /// Root subtrees (one per initial state) not yet failed; at zero
+      /// the whole search space is exhausted.
+      std::atomic<size_t> roots_pending;
+      std::atomic<bool> done;
+      /// First-witness-wins cooperative stop (wired into the Budget).
+      std::atomic<bool> stop{false};
+      std::atomic<bool> witness_claimed{false};
+
+      DfsShared(unsigned workers, size_t stripes, size_t roots) :
+        deques(workers),
+        dead(stripes),
+        roots_pending(roots),
+        done(roots == 0)
+      {}
+    };
+
+    /// Per-worker slice, merged after the pool joins.
+    struct DfsLocal
+    {
+      size_t deepest_line = 0;
+      std::vector<S> deepest_frontier;
+      uint64_t distinct = 0;
+      uint64_t memo_hits = 0;
+      uint64_t steals = 0;
+      /// Only the worker that claimed the witness fills this.
+      std::vector<S> witness;
+    };
+
+    void run_dfs_parallel()
+    {
+      const WorkerPool pool(options_.threads);
+      DfsShared shared(
+        pool.size(), 4 * static_cast<size_t>(pool.size()), init_.size());
+      budget_.set_stop_flag(&shared.stop);
+
+      for (size_t i = 0; i < init_.size(); ++i)
+      {
+        auto root = std::make_shared<Task>();
+        root->state = init_[i];
+        shared.deques.push(
+          static_cast<unsigned>(i % pool.size()), std::move(root));
+      }
+
+      std::vector<DfsLocal> locals(pool.size());
+      pool.run([&](unsigned w) { dfs_worker(shared, w, locals[w]); });
+      // The stop flag dies with this frame; detach it before run() makes
+      // its final exhausted() check.
+      budget_.set_stop_flag(nullptr);
+
+      // Drain tasks abandoned by the early stop (witness or budget) so
+      // their parent chains are torn down iteratively.
+      TaskPtr leftover;
+      bool stole = false;
+      for (unsigned w = 0; w < pool.size(); ++w)
+      {
+        while (shared.deques.pop_or_steal(w, leftover, stole))
+        {
+          release_chain(std::move(leftover));
+        }
+      }
+
+      result_.states_explored =
+        shared.explored.load(std::memory_order_relaxed);
+      for (DfsLocal& local : locals)
+      {
+        result_.stats.distinct_states += local.distinct;
+        result_.stats.duplicate_states += local.memo_hits;
+        result_.stats.memo_hits += local.memo_hits;
+        result_.stats.steals += local.steals;
+        if (!local.witness.empty())
+        {
+          result_.ok = true;
+          result_.witness = std::move(local.witness);
+        }
+      }
+      if (result_.ok)
+      {
+        result_.lines_matched = lines_.size();
+        return;
+      }
+
+      // Merge the per-worker unsatisfied-breakpoint diagnostics: deepest
+      // line over all workers, candidates concatenated in worker order up
+      // to the configured cap.
+      size_t deepest = 0;
+      for (const DfsLocal& local : locals)
+      {
+        deepest = std::max(deepest, local.deepest_line);
+      }
+      for (DfsLocal& local : locals)
+      {
+        if (local.deepest_line != deepest)
+        {
+          continue;
+        }
+        for (S& s : local.deepest_frontier)
+        {
+          if (
+            result_.frontier_at_failure.size() <
+            options_.max_diagnostic_states)
+          {
+            result_.frontier_at_failure.push_back(std::move(s));
+          }
+        }
+      }
+      result_.lines_matched = deepest;
+      if (deepest < lines_.size())
+      {
+        result_.failed_line = lines_[deepest].description;
+      }
+    }
+
+    void dfs_worker(DfsShared& shared, unsigned w, DfsLocal& local)
+    {
+      for (;;)
+      {
+        if (
+          shared.stop.load(std::memory_order_acquire) ||
+          shared.done.load(std::memory_order_acquire))
+        {
+          return;
+        }
+        if (budget_.exhausted(
+              shared.explored.load(std::memory_order_relaxed)))
+        {
+          return;
+        }
+        TaskPtr task;
+        bool stole = false;
+        if (!shared.deques.pop_or_steal(w, task, stole))
+        {
+          // Empty everywhere but the search is not done: siblings are
+          // still expanding. Yield until work appears or the run ends.
+          std::this_thread::yield();
+          continue;
+        }
+        if (stole)
+        {
+          local.steals++;
+        }
+        dfs_process(shared, w, std::move(task), local);
+      }
+    }
+
+    /// The parallel counterpart of enter(): match/budget/memo checks,
+    /// diagnostics, expansion — publishing children instead of pushing a
+    /// frame.
+    void dfs_process(DfsShared& shared, unsigned w, TaskPtr task, DfsLocal& local)
+    {
+      if (task->line == lines_.size())
+      {
+        if (!shared.witness_claimed.exchange(
+              true, std::memory_order_acq_rel))
+        {
+          for (const Task* t = task.get(); t != nullptr;
+               t = t->parent.get())
+          {
+            local.witness.push_back(t->state);
+          }
+          std::reverse(local.witness.begin(), local.witness.end());
+          shared.stop.store(true, std::memory_order_release);
+        }
+        release_chain(std::move(task));
+        return;
+      }
+      if (budget_.exhausted(shared.explored.load(std::memory_order_relaxed)))
+      {
+        // Not a proven dead end — but once the budget is exhausted every
+        // path fails the same way, exactly like the sequential wind-down.
+        subtree_failed(shared, std::move(task), false);
+        return;
+      }
+      const uint64_t fp = expander_.fingerprint_of(task->state);
+      if (shared.dead.contains(key(task->line, fp)))
+      {
+        local.memo_hits++;
+        subtree_failed(shared, std::move(task), false);
+        return;
+      }
+      if (task->line > local.deepest_line)
+      {
+        local.deepest_line = task->line;
+        local.deepest_frontier.clear();
+      }
+      if (
+        task->line == local.deepest_line &&
+        local.deepest_frontier.size() < options_.max_diagnostic_states)
+      {
+        local.deepest_frontier.push_back(task->state);
+      }
+      local.distinct++;
+      task->fp = fp;
+      std::vector<S> successors;
+      expander_.with_faults(task->state, [&](const S& pre) {
+        lines_[task->line].expand(pre, [&](const S& succ) {
+          successors.push_back(succ);
+        });
+      });
+      shared.explored.fetch_add(
+        successors.size(), std::memory_order_relaxed);
+      if (successors.empty())
+      {
+        subtree_failed(shared, std::move(task), true);
+        return;
+      }
+      // pending must cover every child before the first one is published —
+      // a thief may fail a stolen child while we are still pushing.
+      task->pending.store(successors.size(), std::memory_order_relaxed);
+      // Push in reverse: pop_bottom is LIFO, so the owner descends into
+      // the first successor next (the sequential sibling order) while
+      // thieves take later siblings from the top.
+      for (size_t i = successors.size(); i-- > 0;)
+      {
+        auto child = std::make_shared<Task>();
+        child->state = std::move(successors[i]);
+        child->line = task->line + 1;
+        child->parent = task;
+        shared.deques.push(w, std::move(child));
+      }
+      release_chain(std::move(task));
+    }
+
+    /// Resolves a subtree that was exhausted without finding a witness.
+    /// `dead` is true when the exhaustion proves (line, fp) unsatisfiable
+    /// (no successors, or every child subtree failed) — those keys go into
+    /// the shared memo; budget cuts and memo hits do not re-memoize.
+    /// Walks up the completion tree: failing the last outstanding child of
+    /// a node proves that node dead in turn.
+    void subtree_failed(DfsShared& shared, TaskPtr task, bool dead)
+    {
+      for (;;)
+      {
+        if (dead)
+        {
+          shared.dead.insert(key(task->line, task->fp));
+        }
+        TaskPtr parent = task->parent;
+        release_chain(std::move(task));
+        if (parent == nullptr)
+        {
+          if (
+            shared.roots_pending.fetch_sub(1, std::memory_order_acq_rel) ==
+            1)
+          {
+            shared.done.store(true, std::memory_order_release);
+          }
+          return;
+        }
+        if (parent->pending.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        {
+          release_chain(std::move(parent));
+          return;
+        }
+        task = std::move(parent);
+        dead = true;
+      }
     }
 
     std::vector<S> init_;

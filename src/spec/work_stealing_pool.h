@@ -1,0 +1,124 @@
+// Work-stealing extension of the exploration core's worker model.
+//
+// The fork-join WorkerPool splits *pre-partitioned* work (a frontier, a
+// seed range) across workers. Depth-first search has no frontier to
+// partition up front: the work materializes as the search descends, and
+// naively running N copies of the same DFS makes every worker walk the
+// same tree. The classic fix — TLC-style parallel explicit-state search,
+// Cilk-style task scheduling — is work stealing: each worker owns a deque
+// of pending subtrees, treats its bottom as its DFS stack (push and pop
+// newest), and when it runs dry steals the OLDEST item from the top of a
+// victim's deque. For DFS the oldest item is the frame closest to the
+// root, i.e. the largest unexplored subtree, so a steal buys the thief the
+// most work per synchronization.
+//
+// The deques here are mutex-guarded rather than lock-free Chase-Lev:
+// steals only happen when a worker is idle, so in steady state each deque
+// sees exactly one uncontended lock per push/pop — and a mutex keeps the
+// structure trivially correct under ThreadSanitizer, which gates CI.
+//
+// This header is engine-agnostic (the trace validator's parallel DFS uses
+// it today; the checker's or simulator's future depth-first modes can
+// adopt it unchanged) and composes with WorkerPool: the pool spawns and
+// joins the workers, the deques move work between them.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "spec/worker_pool.h"
+
+namespace scv::spec
+{
+  /// One worker's deque of stealable work items. Owner discipline:
+  /// push_bottom/pop_bottom (LIFO — the owner's DFS stack). Thief
+  /// discipline: steal_top (FIFO — the shallowest, largest subtree).
+  template <class T>
+  class StealableDeque
+  {
+  public:
+    void push_bottom(T item)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+    }
+
+    bool pop_bottom(T& out)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty())
+      {
+        return false;
+      }
+      out = std::move(items_.back());
+      items_.pop_back();
+      return true;
+    }
+
+    bool steal_top(T& out)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty())
+      {
+        return false;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+      return true;
+    }
+
+  private:
+    std::mutex mu_;
+    std::deque<T> items_;
+  };
+
+  /// The per-worker deque array plus the steal policy: worker w pops its
+  /// own deque first, then makes one round of steal attempts over the
+  /// victims in round-robin order starting at w + 1 (no randomness, so a
+  /// run's steal pattern is at least schedule-deterministic).
+  template <class T>
+  class WorkStealingDeques
+  {
+  public:
+    explicit WorkStealingDeques(unsigned workers) : deques_(workers) {}
+
+    [[nodiscard]] unsigned size() const
+    {
+      return static_cast<unsigned>(deques_.size());
+    }
+
+    void push(unsigned w, T item)
+    {
+      deques_[w].push_bottom(std::move(item));
+    }
+
+    /// Own-deque pop, else one full round of steal attempts. Returns
+    /// false when every deque came up empty — the caller decides whether
+    /// that means termination or a yield-and-retry (other workers may
+    /// still be expanding). `stole` reports whether the item came from a
+    /// victim's deque.
+    bool pop_or_steal(unsigned w, T& out, bool& stole)
+    {
+      stole = false;
+      if (deques_[w].pop_bottom(out))
+      {
+        return true;
+      }
+      const unsigned n = size();
+      for (unsigned k = 1; k < n; ++k)
+      {
+        if (deques_[(w + k) % n].steal_top(out))
+        {
+          stole = true;
+          return true;
+        }
+      }
+      return false;
+    }
+
+  private:
+    std::vector<StealableDeque<T>> deques_;
+  };
+}

@@ -230,6 +230,75 @@ TEST_P(MultiClientChaos, EveryClientsHistoryValidates)
 INSTANTIATE_TEST_SUITE_P(
   Seeds, MultiClientChaos, ::testing::Values(601, 602, 603, 604));
 
+TEST(ConsistencyValidation, ParallelDfsMatchesSequentialOnHistory)
+{
+  // A failover history (two log branches — real nondeterminism in the
+  // search) validated by the work-stealing DFS at 1, 2 and 4 workers.
+  ClusterOptions o = three_nodes(307);
+  o.node_template.check_quorum_interval = 0;
+  Cluster c(o);
+  Client client(c);
+
+  c.partition({1}, {2, 3});
+  const auto doomed = client.submit_rw("doomed");
+  ASSERT_TRUE(doomed.has_value());
+  settle(c, 150);
+  const auto winner = client.submit_rw("winner");
+  c.sign();
+  settle(c, 100);
+  ASSERT_EQ(client.poll(*winner), TxStatus::Committed);
+  ASSERT_EQ(client.poll(*doomed), TxStatus::Invalid);
+
+  spec::ValidationOptions options;
+  options.mode = spec::SearchMode::Dfs;
+  options.threads = 1;
+  const auto seq = trace::validate_consistency_trace(client.history(), options);
+  ASSERT_TRUE(seq.ok) << diagnose(seq);
+  for (const unsigned threads : {2u, 4u})
+  {
+    options.threads = threads;
+    const auto par =
+      trace::validate_consistency_trace(client.history(), options);
+    EXPECT_TRUE(par.ok) << "threads=" << threads << "\n" << diagnose(par);
+    EXPECT_EQ(par.lines_matched, seq.lines_matched);
+    EXPECT_EQ(par.witness.size(), seq.witness.size());
+  }
+}
+
+TEST(ConsistencyValidation, ParallelDfsRejectsCorruptedHistory)
+{
+  Cluster c(three_nodes(311));
+  Client client(c);
+  client.submit_rw("a");
+  const auto s2 = client.submit_rw("b");
+  c.sign();
+  settle(c);
+  ASSERT_EQ(client.poll(*s2), TxStatus::Committed);
+
+  auto events = client.history();
+  bool corrupted = false;
+  for (auto& e : events)
+  {
+    if (e.kind == ClientEventKind::RwRes && e.txid.index == 2)
+    {
+      e.observed.clear();
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  spec::ValidationOptions options;
+  options.mode = spec::SearchMode::Dfs;
+  options.threads = 1;
+  const auto seq = trace::validate_consistency_trace(events, options);
+  ASSERT_FALSE(seq.ok);
+  options.threads = 4;
+  const auto par = trace::validate_consistency_trace(events, options);
+  EXPECT_FALSE(par.ok);
+  EXPECT_EQ(par.lines_matched, seq.lines_matched);
+  EXPECT_EQ(par.failed_line, seq.failed_line);
+}
+
 TEST(ConsistencyValidation, CorruptedObservationRejected)
 {
   Cluster c(three_nodes(311));

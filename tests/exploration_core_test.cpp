@@ -14,6 +14,7 @@
 #include "spec/model_checker.h"
 #include "spec/simulator.h"
 #include "spec/trace_validator.h"
+#include "spec/work_stealing_pool.h"
 #include "spec/worker_pool.h"
 
 using namespace scv;
@@ -155,6 +156,111 @@ TEST(WorkerPool, SingleWorkerRunsInline)
     EXPECT_EQ(w, 0u);
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
+}
+
+// ---- Work-stealing deques ----
+
+TEST(WorkStealing, OwnerIsLifoThiefIsFifo)
+{
+  StealableDeque<int> deque;
+  deque.push_bottom(1);
+  deque.push_bottom(2);
+  deque.push_bottom(3);
+  int got = 0;
+  ASSERT_TRUE(deque.pop_bottom(got));
+  EXPECT_EQ(got, 3); // the owner's DFS stack: newest first
+  ASSERT_TRUE(deque.steal_top(got));
+  EXPECT_EQ(got, 1); // thieves take the oldest (largest subtree)
+  ASSERT_TRUE(deque.pop_bottom(got));
+  EXPECT_EQ(got, 2);
+  EXPECT_FALSE(deque.pop_bottom(got));
+  EXPECT_FALSE(deque.steal_top(got));
+}
+
+TEST(WorkStealing, PopPrefersOwnDequeThenStealsRoundRobin)
+{
+  WorkStealingDeques<int> deques(3);
+  deques.push(0, 10);
+  deques.push(2, 30);
+  int got = 0;
+  bool stole = false;
+  // Worker 0 drains its own deque first.
+  ASSERT_TRUE(deques.pop_or_steal(0, got, stole));
+  EXPECT_EQ(got, 10);
+  EXPECT_FALSE(stole);
+  // Then steals from the next non-empty victim.
+  ASSERT_TRUE(deques.pop_or_steal(0, got, stole));
+  EXPECT_EQ(got, 30);
+  EXPECT_TRUE(stole);
+  EXPECT_FALSE(deques.pop_or_steal(0, got, stole));
+}
+
+TEST(WorkStealing, ConcurrentOwnersAndThievesLoseNothing)
+{
+  // 4 workers push disjoint ranges and drain the union via pop_or_steal;
+  // every item must surface exactly once.
+  constexpr unsigned workers = 4;
+  constexpr unsigned per_worker = 500;
+  WorkStealingDeques<int> deques(workers);
+  std::atomic<unsigned> drained{0};
+  std::atomic<uint64_t> sum{0};
+  const WorkerPool pool(workers);
+  pool.run([&](unsigned w) {
+    for (unsigned i = 0; i < per_worker; ++i)
+    {
+      deques.push(w, static_cast<int>(w * per_worker + i));
+    }
+    int got = 0;
+    bool stole = false;
+    while (drained.load() < workers * per_worker)
+    {
+      if (deques.pop_or_steal(w, got, stole))
+      {
+        sum.fetch_add(static_cast<uint64_t>(got));
+        drained.fetch_add(1);
+      }
+      else
+      {
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_EQ(drained.load(), workers * per_worker);
+  const uint64_t n = workers * per_worker;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ---- Striped key set (the shared dead-end memo) ----
+
+TEST(StripedKeySet, InsertAndContains)
+{
+  StripedKeySet set(8);
+  EXPECT_FALSE(set.contains(42));
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.contains(42));
+  // Keys differing only in the high half land on different stripes and
+  // must still be distinct entries.
+  EXPECT_TRUE(set.insert(uint64_t{42} << 32));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StripedKeySet, ConcurrentInsertsDeduplicate)
+{
+  StripedKeySet set(8);
+  std::atomic<uint64_t> fresh{0};
+  const WorkerPool pool(4);
+  pool.run([&](unsigned) {
+    for (uint64_t k = 0; k < 1000; ++k)
+    {
+      if (set.insert(k))
+      {
+        fresh.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(fresh.load(), 1000u); // each key admitted exactly once
+  EXPECT_EQ(set.size(), 1000u);
 }
 
 // ---- Expander fault composition (duplicate-emission fix) ----
@@ -428,4 +534,216 @@ TEST(TraceValidatorCore, DiagnosticStatesRespectConfiguredCap)
   // Distinct values reachable after 4 fuzzy steps: 4..8 — five candidates,
   // all retained under the raised cap (the old hard-coded cap was 8).
   EXPECT_EQ(large.frontier_at_failure.size(), 5u);
+}
+
+// ---- Work-stealing parallel DFS ----
+
+namespace
+{
+  ValidationResult<CounterState> run_dfs(
+    const std::vector<TraceLineExpander<CounterState>>& lines,
+    unsigned threads,
+    uint64_t max_states = UINT64_MAX)
+  {
+    ValidationOptions options;
+    options.mode = SearchMode::Dfs;
+    options.threads = threads;
+    options.max_states = max_states;
+    TraceValidator<CounterState> v({CounterState{0}}, lines, options);
+    return v.run();
+  }
+
+  /// A fuzzy (+1 or +2) witness must be a connected behavior.
+  void expect_fuzzy_witness(
+    const ValidationResult<CounterState>& r, size_t n_lines)
+  {
+    ASSERT_EQ(r.witness.size(), n_lines + 1);
+    EXPECT_EQ(r.witness.front().value, 0);
+    for (size_t i = 1; i < r.witness.size(); ++i)
+    {
+      const int step = r.witness[i].value - r.witness[i - 1].value;
+      EXPECT_TRUE(step == 1 || step == 2) << "disconnected at step " << i;
+    }
+  }
+}
+
+TEST(ParallelDfs, MatchesSequentialOnValidTrace)
+{
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 12; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  const auto seq = run_dfs(lines, 1);
+  ASSERT_TRUE(seq.ok);
+  for (const unsigned threads : {2u, 4u})
+  {
+    const auto par = run_dfs(lines, threads);
+    EXPECT_TRUE(par.ok) << "threads=" << threads;
+    EXPECT_EQ(par.lines_matched, seq.lines_matched);
+    expect_fuzzy_witness(par, lines.size());
+    EXPECT_EQ(par.stats.complete, seq.stats.complete);
+  }
+}
+
+TEST(ParallelDfs, MatchesSequentialOnInvalidTrace)
+{
+  // Wide branching, then an impossible line: every subtree is explored
+  // and proven dead, so verdict, deepest line, and failing line must all
+  // match the sequential search.
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 8; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  lines.push_back(impossible_line());
+  const auto seq = run_dfs(lines, 1);
+  ASSERT_FALSE(seq.ok);
+  for (const unsigned threads : {2u, 4u})
+  {
+    const auto par = run_dfs(lines, threads);
+    EXPECT_FALSE(par.ok) << "threads=" << threads;
+    EXPECT_EQ(par.lines_matched, seq.lines_matched);
+    EXPECT_EQ(par.failed_line, seq.failed_line);
+    EXPECT_FALSE(par.frontier_at_failure.empty());
+    EXPECT_LE(par.frontier_at_failure.size(), 8u); // max_diagnostic_states
+  }
+}
+
+TEST(ParallelDfs, StopsCleanlyAtStateCap)
+{
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 50; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  for (const unsigned threads : {2u, 4u})
+  {
+    const auto r = run_dfs(lines, threads, 3);
+    EXPECT_FALSE(r.ok) << "threads=" << threads;
+    EXPECT_FALSE(r.stats.complete);
+    EXPECT_LT(r.lines_matched, 50u);
+    EXPECT_GE(r.states_explored, 3u);
+  }
+}
+
+TEST(ParallelDfs, SharedMemoPrunesAcrossWorkers)
+{
+  // 16 fuzzy lines reconverge massively (2^16 paths over ~500 distinct
+  // (line, value) nodes) and the final line kills them all: the shared
+  // dead-end memo must absorb the reconvergence — with it, the search
+  // enters each distinct node roughly once instead of once per path.
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 16; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  lines.push_back(impossible_line());
+  const auto seq = run_dfs(lines, 1);
+  ASSERT_FALSE(seq.ok);
+  ASSERT_GT(seq.stats.memo_hits, 0u);
+  const auto par = run_dfs(lines, 4);
+  EXPECT_FALSE(par.ok);
+  EXPECT_EQ(par.lines_matched, seq.lines_matched);
+  EXPECT_GT(par.stats.memo_hits, 0u);
+  // Without memoization the search would enter one node per path prefix
+  // (>> 2^16); concurrent duplicate entries are possible but bounded.
+  EXPECT_LT(par.stats.distinct_states, 1u << 14);
+  // The memo hits are also counted as duplicates, matching sequential.
+  EXPECT_EQ(par.stats.duplicate_states, par.stats.memo_hits);
+}
+
+TEST(ParallelDfs, HandlesVeryDeepTraces)
+{
+  // The 100k-line chain at threads=4: exercises the iterative parent-
+  // chain teardown (a recursive shared_ptr release would overflow the C
+  // stack) and the witness walk on a maximally deep task tree.
+  constexpr int depth = 100'000;
+  std::vector<TraceLineExpander<CounterState>> lines;
+  lines.reserve(depth);
+  for (int i = 1; i <= depth; ++i)
+  {
+    lines.push_back(counter_line(i));
+  }
+  const auto r = run_dfs(lines, 4);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.lines_matched, static_cast<size_t>(depth));
+  ASSERT_EQ(r.witness.size(), static_cast<size_t>(depth) + 1);
+  EXPECT_EQ(r.witness.back().value, depth);
+}
+
+// ---- BFS frontier pruning (store-backed memory mode) ----
+
+TEST(BfsFrontierPruning, VerdictAndWitnessUnchangedOnValidTrace)
+{
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 10; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  ValidationOptions options;
+  options.mode = SearchMode::Bfs;
+  TraceValidator<CounterState> plain({CounterState{0}}, lines, options);
+  const auto a = plain.run();
+  options.prune_bfs_store = true;
+  TraceValidator<CounterState> pruned({CounterState{0}}, lines, options);
+  const auto b = pruned.run();
+
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.frontier_sizes, b.frontier_sizes);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.stats.distinct_states, b.stats.distinct_states);
+  // The final line's chain is retained, so the witness is still the full
+  // reconstructed behavior — and at threads=1, the identical one.
+  EXPECT_EQ(a.witness, b.witness);
+}
+
+TEST(BfsFrontierPruning, MatchesPlainBfsOnInvalidTraceAndInParallel)
+{
+  std::vector<TraceLineExpander<CounterState>> lines;
+  for (int i = 0; i < 6; ++i)
+  {
+    lines.push_back(fuzzy_line(i));
+  }
+  lines.push_back(impossible_line());
+  for (const unsigned threads : {1u, 4u})
+  {
+    ValidationOptions options;
+    options.mode = SearchMode::Bfs;
+    options.threads = threads;
+    TraceValidator<CounterState> plain({CounterState{0}}, lines, options);
+    const auto a = plain.run();
+    options.prune_bfs_store = true;
+    TraceValidator<CounterState> pruned({CounterState{0}}, lines, options);
+    const auto b = pruned.run();
+    EXPECT_FALSE(b.ok);
+    EXPECT_EQ(a.lines_matched, b.lines_matched);
+    EXPECT_EQ(a.failed_line, b.failed_line);
+    EXPECT_EQ(a.frontier_sizes, b.frontier_sizes);
+    EXPECT_EQ(a.frontier_at_failure.size(), b.frontier_at_failure.size());
+    EXPECT_EQ(a.stats.distinct_states, b.stats.distinct_states);
+  }
+}
+
+TEST(BfsFrontierPruning, DeepTraceWitnessSurvivesPruning)
+{
+  // A deep linear trace: pruning keeps only the live frontier's chain,
+  // and the witness is still the whole behavior at the end — torn down
+  // iteratively (no destructor recursion) despite its depth.
+  constexpr int depth = 50'000;
+  std::vector<TraceLineExpander<CounterState>> lines;
+  lines.reserve(depth);
+  for (int i = 1; i <= depth; ++i)
+  {
+    lines.push_back(counter_line(i));
+  }
+  ValidationOptions options;
+  options.mode = SearchMode::Bfs;
+  options.prune_bfs_store = true;
+  TraceValidator<CounterState> v({CounterState{0}}, lines, options);
+  const auto r = v.run();
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.witness.size(), static_cast<size_t>(depth) + 1);
+  EXPECT_EQ(r.witness.back().value, depth);
 }

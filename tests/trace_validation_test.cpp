@@ -234,6 +234,150 @@ TEST(TraceValidation, ParallelBfsMatchesSequentialOnConsensusTrace)
   EXPECT_EQ(seq.witness.size(), preprocess(c.trace()).size() + 1);
 }
 
+TEST(TraceValidation, ParallelDfsMatchesSequentialOnConsensusTrace)
+{
+  // An election trace (nondeterministic branching) validated by the
+  // work-stealing DFS at 1, 2 and 4 workers: identical verdict, and in
+  // each case the returned witness is a real behavior of the spec —
+  // every step is replayed through the bound trace-line expanders.
+  Cluster c(three_nodes(103));
+  c.submit("pre");
+  c.sign();
+  for (int i = 0; i < 30; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  c.crash(1);
+  for (int i = 0; i < 80; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  ASSERT_TRUE(c.find_leader().has_value());
+  const auto p = params_for(three_nodes(103), 3);
+  const auto lines = bind_consensus_trace(preprocess(c.trace()), p);
+
+  for (const unsigned threads : {1u, 2u, 4u})
+  {
+    ConsensusValidationOptions dfs;
+    dfs.search.mode = spec::SearchMode::Dfs;
+    dfs.search.threads = threads;
+    const auto r = validate_consensus_trace(c.trace(), p, dfs);
+    ASSERT_TRUE(r.ok) << "threads=" << threads << "\n" << diagnose(r);
+    ASSERT_EQ(r.witness.size(), lines.size() + 1);
+    for (size_t i = 0; i < lines.size(); ++i)
+    {
+      const uint64_t want = spec::fingerprint(r.witness[i + 1]);
+      bool connected = false;
+      lines[i].expand(r.witness[i], [&](const specs::ccfraft::State& s) {
+        connected = connected || spec::fingerprint(s) == want;
+      });
+      EXPECT_TRUE(connected)
+        << "threads=" << threads << ": witness step " << i
+        << " is not an expansion of line " << lines[i].description;
+    }
+  }
+}
+
+TEST(TraceValidation, ParallelDfsRejectsCorruptedConsensusTrace)
+{
+  // The corrupted trace from CorruptedCommitIndexRejected, at every
+  // worker count: the deepest-line diagnostics must match the
+  // sequential search (every subtree is exhausted before rejection).
+  Cluster c(three_nodes(115));
+  c.submit("x");
+  c.sign();
+  for (int i = 0; i < 30; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  auto events = c.trace();
+  bool corrupted = false;
+  for (auto& e : events)
+  {
+    if (e.kind == EventKind::AdvanceCommit && !corrupted)
+    {
+      e.commit_idx += 1;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const auto p = params_for(three_nodes(115), 3);
+
+  ConsensusValidationOptions dfs;
+  dfs.search.mode = spec::SearchMode::Dfs;
+  dfs.search.threads = 1;
+  const auto seq = validate_consensus_trace(events, p, dfs);
+  ASSERT_FALSE(seq.ok);
+  for (const unsigned threads : {2u, 4u})
+  {
+    dfs.search.threads = threads;
+    const auto par = validate_consensus_trace(events, p, dfs);
+    EXPECT_FALSE(par.ok) << "threads=" << threads;
+    EXPECT_EQ(par.lines_matched, seq.lines_matched);
+    EXPECT_EQ(par.failed_line, seq.failed_line);
+    EXPECT_FALSE(par.frontier_at_failure.empty());
+  }
+}
+
+TEST(TraceValidation, ParallelDfsStopsCleanlyAtBudget)
+{
+  Cluster c(three_nodes(101));
+  c.submit("hello");
+  c.sign();
+  for (int i = 0; i < 40; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  ConsensusValidationOptions dfs;
+  dfs.search.mode = spec::SearchMode::Dfs;
+  dfs.search.threads = 4;
+  dfs.search.max_states = 5;
+  const auto r = validate_consensus_trace(
+    c.trace(), params_for(three_nodes(101), 3), dfs);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_LT(r.lines_matched, preprocess(c.trace()).size());
+}
+
+TEST(TraceValidation, PrunedBfsMatchesPlainBfsOnConsensusTrace)
+{
+  // Store-backed BFS memory: with per-line frontier pruning the verdict,
+  // per-line frontier sizes and the reconstructed witness are unchanged.
+  Cluster c(three_nodes(113));
+  c.submit("x");
+  c.sign();
+  for (int i = 0; i < 25; ++i)
+  {
+    c.tick_all();
+    c.drain();
+  }
+  const auto p = params_for(three_nodes(113), 3);
+
+  ConsensusValidationOptions bfs;
+  bfs.search.mode = spec::SearchMode::Bfs;
+  const auto plain = validate_consensus_trace(c.trace(), p, bfs);
+  bfs.search.prune_bfs_store = true;
+  const auto pruned = validate_consensus_trace(c.trace(), p, bfs);
+
+  ASSERT_TRUE(plain.ok) << diagnose(plain);
+  ASSERT_TRUE(pruned.ok) << diagnose(pruned);
+  EXPECT_EQ(plain.frontier_sizes, pruned.frontier_sizes);
+  EXPECT_EQ(plain.states_explored, pruned.states_explored);
+  EXPECT_EQ(plain.stats.distinct_states, pruned.stats.distinct_states);
+  ASSERT_EQ(plain.witness.size(), pruned.witness.size());
+  for (size_t i = 0; i < plain.witness.size(); ++i)
+  {
+    EXPECT_EQ(
+      spec::fingerprint(plain.witness[i]),
+      spec::fingerprint(pruned.witness[i]))
+      << "witness diverges at step " << i;
+  }
+}
+
 TEST(TraceValidation, CorruptedCommitIndexRejected)
 {
   Cluster c(three_nodes(115));
@@ -350,6 +494,22 @@ TEST(TraceValidation, FaultCompositionBridgesDuplicates)
 
   ConsensusValidationOptions with_faults;
   with_faults.fault_composition = true;
+  const auto r = validate_consensus_trace(events, p, with_faults);
+  EXPECT_TRUE(r.ok) << diagnose(r);
+}
+
+TEST(TraceValidation, ParallelDfsBridgesDuplicatesWithFaultComposition)
+{
+  // Fault composition (IsFault · Next) under the work-stealing search:
+  // the duplicate-delivery trace validates at 4 workers exactly as it
+  // does sequentially.
+  const auto events = run_duplicate_delivery({});
+  const auto p = params_for(three_nodes(119), 3);
+
+  ConsensusValidationOptions with_faults;
+  with_faults.fault_composition = true;
+  with_faults.search.mode = spec::SearchMode::Dfs;
+  with_faults.search.threads = 4;
   const auto r = validate_consensus_trace(events, p, with_faults);
   EXPECT_TRUE(r.ok) << diagnose(r);
 }

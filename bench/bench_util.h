@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "spec/engine.h"
 #include "util/json.h"
 
 namespace scv::bench
@@ -138,6 +139,21 @@ namespace scv::bench
          {"states_per_s", states_per_s},
          {"distinct_states", distinct_states},
          {"seconds", seconds}}));
+    }
+
+    /// Any engine result (CheckResult / SimResult / ValidationResult)
+    /// through the shared EngineReport base — no per-engine special cases.
+    void add_run(
+      const std::string& label,
+      unsigned threads,
+      const spec::EngineReport& report)
+    {
+      add_run(
+        label,
+        threads,
+        report.stats.states_per_minute() / 60.0,
+        report.stats.distinct_states,
+        report.stats.seconds);
     }
 
     void add_field(const std::string& key, scv::json::Value value)

@@ -86,9 +86,7 @@ int main()
         std::string(mode == spec::SearchMode::Dfs ? "dfs" : "bfs") +
           "_faults" + std::to_string(faults),
         1,
-        secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
-        r.states_explored,
-        secs);
+        r);
     }
   }
 
@@ -116,12 +114,7 @@ int main()
       magnitude(
         secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0)
         .c_str());
-    report.add_run(
-      "parallel_bfs_validation",
-      threads,
-      secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
-      r.states_explored,
-      secs);
+    report.add_run("parallel_bfs_validation", threads, r);
   }
 
   // Work-stealing parallel DFS over ONE trace: workers push expanded
@@ -154,12 +147,7 @@ int main()
         .c_str(),
       static_cast<unsigned long long>(r.stats.memo_hits),
       static_cast<unsigned long long>(r.stats.steals));
-    report.add_run(
-      "workstealing_dfs_validation",
-      threads,
-      secs > 0 ? static_cast<double>(r.states_explored) / secs : 0.0,
-      r.states_explored,
-      secs);
+    report.add_run("workstealing_dfs_validation", threads, r);
   }
   report.write();
 

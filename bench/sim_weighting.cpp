@@ -154,7 +154,7 @@ int main()
   }
 
   // Multi-worker simulation: independent seeded walks per worker on the
-  // failure-weight-0.2 config, merged coverage (see ParallelSimulator).
+  // failure-weight-0.2 config, merged coverage (Simulator at threads>1).
   std::printf("\nParallel simulation (failure weight 0.2, 5s budget):\n");
   {
     Params p;

@@ -42,4 +42,18 @@ echo "=== tsan work-stealing dfs smoke (threads=1) ==="
 echo "=== tsan work-stealing dfs smoke (threads=4) ==="
 ./build-tsan/examples/trace_validate_demo --mode=dfs --threads=4
 
+# Time-boxed campaign smoke: all three engines (checker -> simulator ->
+# trace validation) over ONE shared store and ONE wall-clock box on the
+# consensus spec. The demo exits non-zero unless all three phases ran and
+# the unioned coverage is consistent (>= max per-engine contribution,
+# <= sum of per-engine contributions), so a broken origin tag, a lost
+# frontier export, or a phase that never starts fails CI. Release gets
+# the full 30s box; TSan runs ~10x slower, so it gets a shorter box with
+# the parallel engines on (races in cross-engine store sharing show up
+# here).
+echo "=== release campaign smoke (30s box) ==="
+./build-release/examples/campaign_demo --seconds=30
+echo "=== tsan campaign smoke (10s box, threads=4) ==="
+./build-tsan/examples/campaign_demo --seconds=10 --threads=4
+
 echo "=== ci/check.sh: all variants passed ==="

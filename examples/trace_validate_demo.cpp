@@ -128,7 +128,7 @@ int main(int argc, char** argv)
       events.size(),
       static_cast<unsigned long long>(result.states_explored),
       result.witness.size(),
-      result.seconds,
+      result.stats.seconds,
       static_cast<unsigned long long>(result.stats.memo_hits),
       static_cast<unsigned long long>(result.stats.steals));
     if (!result.ok)
@@ -152,7 +152,7 @@ int main(int argc, char** argv)
       events.size(),
       static_cast<unsigned long long>(bfs.states_explored),
       bfs.witness.size(),
-      bfs.seconds);
+      bfs.stats.seconds);
     if (!bfs.ok)
     {
       return 1;

@@ -61,6 +61,33 @@ namespace scv::spec
         .count();
     }
 
+    /// Wall-clock seconds left before the deadline (never negative; an
+    /// effectively-unlimited budget reports its huge cap unchanged).
+    [[nodiscard]] double remaining_seconds() const
+    {
+      const double left = caps_.time_budget_seconds - elapsed();
+      return left > 0.0 ? left : 0.0;
+    }
+
+    /// Parent/child split: a child budget whose clock starts now and whose
+    /// deadline is `seconds`, clamped so a child can never outlive its
+    /// parent's remaining time. The child inherits the parent's stop flag,
+    /// so a campaign-wide cooperative stop winds every phase down. Used by
+    /// the TimeBox scheduler (campaign.h) to hand each phase its share of
+    /// one shared wall-clock box.
+    [[nodiscard]] Budget child(
+      double seconds,
+      uint64_t max_states = UINT64_MAX,
+      uint64_t max_depth = UINT64_MAX) const
+    {
+      Budget b(Caps{
+        seconds < remaining_seconds() ? seconds : remaining_seconds(),
+        max_states,
+        max_depth});
+      b.stop_ = stop_;
+      return b;
+    }
+
     [[nodiscard]] bool stopped() const
     {
       return stop_ != nullptr && stop_->load(std::memory_order_acquire);

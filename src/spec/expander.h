@@ -45,6 +45,20 @@ namespace scv::spec
       return fingerprint(s);
     }
 
+    /// Tags every subsequent admission with the discovering engine — set
+    /// by campaign runs sharing one store across engines (the store
+    /// reports per-origin first-discovery counts). Standalone engines
+    /// leave the default 0.
+    void set_origin(uint8_t origin)
+    {
+      origin_ = origin;
+    }
+
+    [[nodiscard]] uint8_t origin() const
+    {
+      return origin_;
+    }
+
     /// Fingerprint-first insert into a store: dedup and predecessor
     /// bookkeeping in one call.
     [[nodiscard]] typename ShardedStateStore<S>::InsertResult admit(
@@ -54,7 +68,8 @@ namespace scv::spec
       uint32_t action,
       uint32_t depth) const
     {
-      return store.insert(state, fingerprint_of(state), parent, action, depth);
+      return store.insert(
+        state, fingerprint_of(state), parent, action, depth, origin_);
     }
 
     /// Same, but keyed by a caller-salted fingerprint (the trace validator
@@ -67,7 +82,7 @@ namespace scv::spec
       uint32_t action,
       uint32_t depth) const
     {
-      return store.insert(state, key, parent, action, depth);
+      return store.insert(state, key, parent, action, depth, origin_);
     }
 
     /// Fault expander (e.g. "drop any one in-flight message"), composed
@@ -122,5 +137,6 @@ namespace scv::spec
     const SpecDef<S>* spec_ = nullptr;
     std::function<void(const S&, const Emit<S>&)> fault_;
     size_t max_fault_layers_ = 0;
+    uint8_t origin_ = 0;
   };
 }

@@ -7,53 +7,94 @@
 // action sequence that reaches it — the same workflow the paper describes
 // for translating spec counterexamples into functional tests (§7).
 //
-// Two engines share this interface, both built on the exploration core
-// (Budget for limits, Expander for constraint/fingerprint/dedup,
-// ShardedStateStore for the fingerprint set):
-//   * ModelChecker — strictly sequential FIFO BFS (this file). The
-//     reference semantics: deterministic traversal order, shortest
-//     counterexamples.
-//   * ParallelModelChecker (parallel_model_checker.h) — frontier-batched
-//     BFS over a WorkerPool and a sharded fingerprint store; TLC's
-//     multi-worker exploration model. `model_check()` dispatches on
-//     CheckLimits::threads; threads=1 reproduces the sequential engine's
-//     results exactly.
+// One engine, one entry point: ModelChecker::check() (and the free
+// function model_check()) dispatch on CheckLimits::threads, exactly as
+// TraceValidator does:
+//   * threads = 1 runs the strictly sequential FIFO BFS — the reference
+//     semantics: deterministic traversal order, shortest counterexamples,
+//     bit-identical results run to run.
+//   * threads != 1 runs frontier-batched BFS over a WorkerPool and a
+//     sharded fingerprint store — TLC's multi-worker exploration model.
+//     All states at depth d form one work vector, workers claim items
+//     with an atomic cursor, expand actions, and collect the next
+//     frontier in per-worker vectors concatenated at the level barrier.
+//     First violation wins (a stop flag drains the other workers) and,
+//     because levels are processed in order, the reported trace is
+//     *level-minimal*: no strictly shorter counterexample exists.
+//
+// Campaign mode (campaign.h): attach_store() points the checker at a
+// shared ShardedStateStore instead of its private one. States already in
+// the store (another engine's discoveries) seed the BFS frontier, every
+// admission is tagged with the checker's EngineId, and the unexpanded
+// frontier of a budget-cut run is exported for the next engine to seed
+// from (take_frontier()).
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "spec/budget.h"
+#include "spec/engine.h"
 #include "spec/expander.h"
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
+#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
-  struct CheckLimits
+  struct CheckLimits : EngineOptions
   {
+    /// Work-counter cap: distinct states admitted to the store.
     uint64_t max_distinct_states = UINT64_MAX;
     uint64_t max_depth = UINT64_MAX;
-    double time_budget_seconds = 1e18;
-    /// Worker threads for exploration. 1 = the sequential engine
-    /// (deterministic reference semantics); 0 = one worker per hardware
-    /// thread; N>1 = parallel frontier-batched BFS with N workers.
-    unsigned threads = 1;
 
     /// The exploration-core budget: work counter = distinct states.
     [[nodiscard]] Budget::Caps budget_caps() const
     {
-      return {time_budget_seconds, max_distinct_states, max_depth};
+      return make_caps(max_distinct_states, max_depth);
     }
   };
 
   template <SpecState S>
-  struct CheckResult
+  struct CheckResult : EngineReport
   {
-    bool ok = true;
+    CheckResult()
+    {
+      engine = EngineId::Checker;
+    }
+
     std::optional<Counterexample<S>> counterexample;
-    ExplorationStats stats;
   };
+
+  /// Walks the predecessor chain in `store` from `id` back to an initial
+  /// state. Shared by the sequential and parallel paths; callers must
+  /// ensure no concurrent inserts (see ShardedStateStore's contract).
+  template <SpecState S>
+  Counterexample<S> reconstruct_counterexample(
+    const ShardedStateStore<S>& store,
+    const SpecDef<S>& spec,
+    typename ShardedStateStore<S>::Id id,
+    const std::string& property)
+  {
+    using Store = ShardedStateStore<S>;
+    Counterexample<S> cex;
+    cex.property = property;
+    std::vector<TraceStep<S>> reversed;
+    for (auto cur = id; cur != Store::no_parent;)
+    {
+      const auto& r = store.record(cur);
+      reversed.push_back(
+        {r.action == Store::init_action ? "<init>" : spec.actions[r.action].name,
+         r.state});
+      cur = r.parent;
+    }
+    cex.steps.assign(reversed.rbegin(), reversed.rend());
+    return cex;
+  }
 
   template <SpecState S>
   class ModelChecker
@@ -62,21 +103,69 @@ namespace scv::spec
     explicit ModelChecker(const SpecDef<S>& spec, CheckLimits limits = {}) :
       spec_(spec),
       limits_(limits),
-      expander_(&spec_),
-      store_(1)
+      expander_(&spec_)
     {}
 
+    /// Campaign mode: run over `store` (shared with other engines, never
+    /// cleared) instead of a private store. Existing records seed the BFS
+    /// frontier; admissions are tagged `origin`. The store must outlive
+    /// the checker, and no other engine may touch it during check().
+    void attach_store(
+      ShardedStateStore<S>* store, EngineId origin = EngineId::Checker)
+    {
+      external_ = store;
+      expander_.set_origin(static_cast<uint8_t>(origin));
+    }
+
+    /// Unified entry point: dispatches on CheckLimits::threads (see
+    /// docs/SPEC.md "threads semantics"). A checker attached to a shared
+    /// store always runs the frontier-batched path, whose single-worker
+    /// schedule is the same global FIFO order as the sequential engine.
+    CheckResult<S> check()
+    {
+      frontier_out_.clear();
+      if (external_ == nullptr && resolve_worker_count(limits_.threads) == 1)
+      {
+        return check_sequential();
+      }
+      return check_parallel();
+    }
+
+    /// Legacy name for check().
     CheckResult<S> run()
     {
+      return check();
+    }
+
+    /// After an incomplete check(): the unexpanded BFS frontier — states
+    /// admitted but never expanded before the budget cut the run. A
+    /// campaign seeds the simulator's walk starts from these.
+    [[nodiscard]] std::vector<S> take_frontier()
+    {
+      return std::move(frontier_out_);
+    }
+
+  private:
+    using Store = ShardedStateStore<S>;
+    using Id = typename Store::Id;
+
+    [[nodiscard]] Store& store()
+    {
+      return external_ != nullptr ? *external_ : *owned_;
+    }
+
+    // ---- threads == 1, private store: the sequential reference engine --
+
+    CheckResult<S> check_sequential()
+    {
+      owned_ = std::make_unique<Store>(1);
       Budget budget(limits_.budget_caps());
       CheckResult<S> result;
-
-      store_.clear();
 
       for (const S& init : spec_.init)
       {
         const auto ins = expander_.admit(
-          store_, init, Store::no_parent, Store::init_action, 0);
+          store(), init, Store::no_parent, Store::init_action, 0);
         if (ins.inserted)
         {
           result.stats.generated_states++;
@@ -95,18 +184,19 @@ namespace scv::spec
       // With a single shard, IDs are dense 0..size-1 in insertion order, so
       // a cursor over IDs is the classic FIFO BFS queue.
       size_t cursor = 0;
-      while (cursor < store_.size())
+      while (cursor < store().size())
       {
-        if (budget.exhausted(store_.size()))
+        if (budget.exhausted(store().size()))
         {
+          export_sequential_frontier(cursor);
           finish(result, budget, false);
           return result;
         }
 
-        const auto current = static_cast<typename Store::Id>(cursor++);
+        const auto current = static_cast<Id>(cursor++);
         // Deque-backed arena: references stay valid across inserts.
-        const S& state = store_.record(current).state;
-        const uint32_t depth = store_.record(current).depth;
+        const S& state = store().record(current).state;
+        const uint32_t depth = store().record(current).depth;
         result.stats.max_depth =
           std::max<uint64_t>(result.stats.max_depth, depth);
 
@@ -140,7 +230,7 @@ namespace scv::spec
               }
             }
             const auto ins = expander_.admit(
-              store_, next, current, static_cast<uint32_t>(a), depth + 1);
+              store(), next, current, static_cast<uint32_t>(a), depth + 1);
             if (ins.inserted)
             {
               if (!check_state(next, ins.id, result))
@@ -166,24 +256,20 @@ namespace scv::spec
       return result;
     }
 
-  private:
-    using Store = ShardedStateStore<S>;
-
-    void finish(CheckResult<S>& result, const Budget& budget, bool complete)
+    /// Budget cut the sequential run: records cursor..size-1 were admitted
+    /// but never expanded — that is the leftover frontier.
+    void export_sequential_frontier(size_t cursor)
     {
-      result.stats.distinct_states = store_.size();
-      result.stats.seconds = budget.elapsed();
-      result.stats.complete = complete;
-      if (result.counterexample)
+      for (size_t i = cursor; i < store().size(); ++i)
       {
-        result.ok = false;
+        frontier_out_.push_back(store().record(static_cast<Id>(i)).state);
       }
     }
 
     /// Checks invariants; records a counterexample and returns false on
     /// violation.
     bool check_state(
-      const S& state, typename Store::Id id, CheckResult<S>& result)
+      const S& state, Id id, CheckResult<S>& result)
     {
       for (const auto& inv : spec_.invariants)
       {
@@ -197,45 +283,366 @@ namespace scv::spec
       return true;
     }
 
-    Counterexample<S> build_counterexample(
-      typename Store::Id id, const std::string& property)
+    Counterexample<S> build_counterexample(Id id, const std::string& property)
     {
-      return reconstruct_counterexample(store_, spec_, id, property);
+      return reconstruct_counterexample(store(), spec_, id, property);
+    }
+
+    // ---- threads != 1 or shared store: frontier-batched BFS over a
+    // WorkerPool (TLC's multi-worker model). A single worker drains each
+    // level in insertion order — the same global FIFO order as the
+    // sequential engine, so results match exactly. ----
+
+    struct Item
+    {
+      S state;
+      Id id;
+      uint32_t depth;
+    };
+
+    struct WorkerLocal
+    {
+      std::vector<Item> next;
+      uint64_t generated = 0;
+      uint64_t transitions = 0;
+      uint64_t duplicates = 0;
+      uint64_t inserted = 0;
+      uint64_t max_depth = 0;
+      std::vector<uint64_t> coverage; // indexed by action
+    };
+
+    struct Violation
+    {
+      std::string property;
+      /// Invariant: the violating state's ID. Action property: the
+      /// predecessor's ID (the successor is carried separately because it
+      /// was never inserted).
+      Id at;
+      uint32_t action = 0;
+      std::optional<S> successor;
+    };
+
+    CheckResult<S> check_parallel()
+    {
+      const WorkerPool pool(limits_.threads);
+      if (external_ == nullptr)
+      {
+        // Over-provision shards (4x workers) so two workers rarely hash
+        // to the same stripe; a single worker keeps the sequential layout.
+        owned_ = std::make_unique<Store>(
+          pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()));
+      }
+      Budget budget(limits_.budget_caps());
+      CheckResult<S> result;
+      violation_.reset();
+
+      std::vector<Item> frontier;
+
+      // Campaign seeding: every state another engine already admitted to
+      // the shared store joins the initial frontier (its depth is the
+      // depth recorded at admission).
+      if (external_ != nullptr)
+      {
+        store().for_each([&](Id id, const typename Store::Record& r) {
+          frontier.push_back({r.state, id, r.depth});
+        });
+        result.stats.seeded_states = frontier.size();
+      }
+
+      // Initial states are inserted and checked on the caller's thread, in
+      // spec order, exactly as the sequential engine does.
+      uint64_t inserted = 0;
+      for (const S& init : spec_.init)
+      {
+        const auto ins = expander_.admit(
+          store(), init, Store::no_parent, Store::init_action, 0);
+        if (!ins.inserted)
+        {
+          result.stats.duplicate_states++;
+          continue;
+        }
+        inserted++;
+        result.stats.generated_states++;
+        for (const auto& inv : spec_.invariants)
+        {
+          if (!inv.check(init))
+          {
+            result.counterexample =
+              reconstruct_counterexample(store(), spec_, ins.id, inv.name);
+            finish(result, budget, false, inserted);
+            return result;
+          }
+        }
+        frontier.push_back({init, ins.id, 0});
+      }
+
+      std::atomic<bool> stop{false};
+      std::atomic<bool> out_of_budget{false};
+
+      while (!frontier.empty() && !stop.load(std::memory_order_acquire))
+      {
+        std::atomic<size_t> cursor{0};
+        std::vector<WorkerLocal> locals(pool.size());
+        for (auto& local : locals)
+        {
+          local.coverage.assign(spec_.actions.size(), 0);
+        }
+
+        pool.run([&](unsigned w) {
+          run_worker(frontier, cursor, stop, out_of_budget, budget, locals[w]);
+        });
+
+        // Level barrier: merge worker stats and splice the next frontier
+        // (worker order, then generation order within a worker).
+        std::vector<Item> next;
+        for (unsigned w = 0; w < pool.size(); ++w)
+        {
+          WorkerLocal& local = locals[w];
+          result.stats.generated_states += local.generated;
+          result.stats.transitions += local.transitions;
+          result.stats.duplicate_states += local.duplicates;
+          inserted += local.inserted;
+          result.stats.max_depth =
+            std::max(result.stats.max_depth, local.max_depth);
+          for (size_t a = 0; a < local.coverage.size(); ++a)
+          {
+            if (local.coverage[a] > 0)
+            {
+              result.stats.action_coverage[spec_.actions[a].name] +=
+                local.coverage[a];
+            }
+          }
+          next.insert(
+            next.end(),
+            std::make_move_iterator(local.next.begin()),
+            std::make_move_iterator(local.next.end()));
+        }
+
+        // Budget cut: the leftover frontier is everything admitted but
+        // never expanded — the unclaimed tail of this level (workers
+        // check the budget *before* claiming) plus the level the workers
+        // were building.
+        if (out_of_budget.load(std::memory_order_acquire))
+        {
+          const size_t claimed =
+            std::min(cursor.load(std::memory_order_relaxed), frontier.size());
+          for (size_t i = claimed; i < frontier.size(); ++i)
+          {
+            frontier_out_.push_back(std::move(frontier[i].state));
+          }
+          for (Item& item : next)
+          {
+            frontier_out_.push_back(std::move(item.state));
+          }
+        }
+        frontier = std::move(next);
+      }
+
+      if (violation_.has_value())
+      {
+        const Violation& v = *violation_;
+        result.counterexample =
+          reconstruct_counterexample(store(), spec_, v.at, v.property);
+        if (v.successor.has_value())
+        {
+          result.counterexample->steps.push_back(
+            {spec_.actions[v.action].name, *v.successor});
+        }
+        finish(result, budget, false, inserted);
+        return result;
+      }
+
+      finish(
+        result,
+        budget,
+        !out_of_budget.load(std::memory_order_acquire),
+        inserted);
+      return result;
+    }
+
+    void run_worker(
+      const std::vector<Item>& frontier,
+      std::atomic<size_t>& cursor,
+      std::atomic<bool>& stop,
+      std::atomic<bool>& out_of_budget,
+      const Budget& budget,
+      WorkerLocal& local)
+    {
+      for (;;)
+      {
+        if (stop.load(std::memory_order_acquire))
+        {
+          return;
+        }
+        // Check the budget before claiming, so an unexpanded item stays
+        // in the frontier's unclaimed tail for the leftover export.
+        if (budget.exhausted(store().size()))
+        {
+          out_of_budget.store(true, std::memory_order_release);
+          stop.store(true, std::memory_order_release);
+          return;
+        }
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frontier.size())
+        {
+          return;
+        }
+        const Item& item = frontier[i];
+
+        local.max_depth = std::max<uint64_t>(local.max_depth, item.depth);
+        if (!expander_.within_constraint(item.state) ||
+            budget.depth_exceeded(item.depth))
+        {
+          continue;
+        }
+
+        bool violated = false;
+        for (size_t a = 0; a < spec_.actions.size() && !violated; ++a)
+        {
+          spec_.actions[a].expand(item.state, [&](const S& next) {
+            if (violated || stop.load(std::memory_order_relaxed))
+            {
+              return;
+            }
+            local.generated++;
+            local.transitions++;
+            local.coverage[a]++;
+            for (const auto& prop : spec_.action_properties)
+            {
+              if (!prop.check(item.state, next))
+              {
+                report_violation(
+                  stop,
+                  {prop.name, item.id, static_cast<uint32_t>(a), next});
+                violated = true;
+                return;
+              }
+            }
+            const auto ins = expander_.admit(
+              store(), next, item.id, static_cast<uint32_t>(a), item.depth + 1);
+            if (ins.inserted)
+            {
+              local.inserted++;
+              for (const auto& inv : spec_.invariants)
+              {
+                if (!inv.check(next))
+                {
+                  report_violation(
+                    stop, {inv.name, ins.id, 0, std::nullopt});
+                  violated = true;
+                  return;
+                }
+              }
+              local.next.push_back({next, ins.id, item.depth + 1});
+            }
+            else
+            {
+              local.duplicates++;
+            }
+          });
+        }
+        if (violated)
+        {
+          return;
+        }
+      }
+    }
+
+    /// First violation wins; later reports are dropped.
+    void report_violation(std::atomic<bool>& stop, Violation v)
+    {
+      std::lock_guard<std::mutex> lock(violation_mu_);
+      if (!violation_.has_value())
+      {
+        violation_ = std::move(v);
+      }
+      stop.store(true, std::memory_order_release);
+    }
+
+    /// `inserted` is the number of states this run admitted itself —
+    /// equal to store().size() for a private store, but a shared store
+    /// also holds other engines' discoveries, which must not be
+    /// re-counted as this engine's coverage.
+    void finish(
+      CheckResult<S>& result,
+      const Budget& budget,
+      bool complete,
+      uint64_t inserted = UINT64_MAX)
+    {
+      result.stats.distinct_states =
+        external_ != nullptr ? inserted : store().size();
+      result.stats.seconds = budget.elapsed();
+      if (budget.caps().time_budget_seconds < 1e17)
+      {
+        result.stats.budget_seconds = budget.caps().time_budget_seconds;
+      }
+      result.stats.complete = complete;
+      if (result.counterexample)
+      {
+        result.ok = false;
+      }
     }
 
     const SpecDef<S>& spec_;
     CheckLimits limits_;
     Expander<S> expander_;
-    Store store_;
+    Store* external_ = nullptr;
+    std::unique_ptr<Store> owned_;
+    std::vector<S> frontier_out_;
+    std::mutex violation_mu_;
+    std::optional<Violation> violation_;
   };
 
-  /// Walks the predecessor chain in `store` from `id` back to an initial
-  /// state. Shared by the sequential and parallel engines; callers must
-  /// ensure no concurrent inserts (see ShardedStateStore's contract).
+  /// Entry point: dispatches on CheckLimits::threads. threads<=1 runs the
+  /// sequential reference engine; anything else runs the worker pool.
   template <SpecState S>
-  Counterexample<S> reconstruct_counterexample(
-    const ShardedStateStore<S>& store,
-    const SpecDef<S>& spec,
-    typename ShardedStateStore<S>::Id id,
-    const std::string& property)
+  CheckResult<S> model_check(const SpecDef<S>& spec, CheckLimits limits = {})
   {
-    using Store = ShardedStateStore<S>;
-    Counterexample<S> cex;
-    cex.property = property;
-    std::vector<TraceStep<S>> reversed;
-    for (auto cur = id; cur != Store::no_parent;)
+    ModelChecker<S> checker(spec, limits);
+    return checker.check();
+  }
+
+  template <SpecState S>
+  struct ReachabilityResult
+  {
+    /// Whether a state satisfying the predicate is reachable.
+    bool reachable = false;
+    /// The shortest action sequence to such a state (when reachable).
+    std::vector<TraceStep<S>> witness;
+    ExplorationStats stats;
+    /// Exploration exhausted the bounded space: unreachable is definitive.
+    bool definitive = false;
+  };
+
+  /// Searches for a reachable state satisfying `goal` — the standard trick
+  /// of model checking ¬goal as an invariant, packaged. BFS returns the
+  /// shortest witness.
+  template <SpecState S>
+  ReachabilityResult<S> find_reachable(
+    const SpecDef<S>& spec,
+    const std::string& goal_name,
+    std::function<bool(const S&)> goal,
+    CheckLimits limits = {})
+  {
+    SpecDef<S> probe = spec;
+    probe.invariants.clear();
+    probe.action_properties.clear();
+    probe.invariants.push_back(
+      {goal_name, [goal](const S& s) { return !goal(s); }});
+    const auto result = model_check(probe, limits);
+    ReachabilityResult<S> out;
+    out.stats = result.stats;
+    if (!result.ok && result.counterexample.has_value())
     {
-      const auto& r = store.record(cur);
-      reversed.push_back(
-        {r.action == Store::init_action ? "<init>" : spec.actions[r.action].name,
-         r.state});
-      cur = r.parent;
+      out.reachable = true;
+      out.definitive = true;
+      out.witness = result.counterexample->steps;
     }
-    cex.steps.assign(reversed.rbegin(), reversed.rend());
-    return cex;
+    else
+    {
+      out.reachable = false;
+      out.definitive = result.stats.complete;
+    }
+    return out;
   }
 }
-
-// The parallel engine and the model_check()/find_reachable() entry points
-// (which dispatch on CheckLimits::threads) live in the companion header.
-#include "spec/parallel_model_checker.h"

@@ -1,356 +1,17 @@
-// Multi-worker explicit-state model checking (TLC's exploration model).
+// Deprecated shim: ParallelModelChecker folded into ModelChecker.
 //
-// The paper's TLC throughput numbers (Table 1) come from many workers
-// draining a shared frontier over one shared fingerprint set; this is the
-// same architecture for our checker, assembled from the exploration core:
-// a WorkerPool runs each level, an Expander gates and fingerprints
-// successors, the ShardedStateStore dedups them (lock-striped per shard),
-// and a Budget bounds the run. Exploration is frontier-batched BFS: all
-// states at depth d form one work vector, workers claim items with an
-// atomic cursor, expand actions, and collect the next frontier in
-// per-worker vectors that are concatenated at the level barrier.
-//
-// Properties:
-//   * threads=1 reproduces the sequential ModelChecker exactly: one worker
-//     drains each level in insertion order, which is the same global FIFO
-//     order the sequential engine uses — same distinct-state count, same
-//     counterexample, same stats.
-//   * First violation wins: any worker that finds an invariant or action
-//     property violation raises a stop flag; all workers drain out and the
-//     counterexample is reconstructed from the store's predecessor links
-//     after the pool has joined. Because levels are processed in order,
-//     the reported trace is *level-minimal*: no strictly shorter
-//     counterexample exists (workers racing within one level may pick a
-//     different same-length violation than the sequential engine).
-//   * The Budget (time, max distinct states, max depth) is checked per
-//     claimed item, mirroring the sequential loop.
+// ModelChecker::check() now dispatches on CheckLimits::threads itself
+// (threads = 1 sequential reference engine, threads != 1 frontier-batched
+// worker-pool BFS), the same way TraceValidator always has. The old class
+// name remains as an alias for one deprecation cycle.
 #pragma once
 
-#include <atomic>
-#include <mutex>
-#include <vector>
-
-#include "spec/budget.h"
-#include "spec/expander.h"
 #include "spec/model_checker.h"
-#include "spec/sharded_state_store.h"
-#include "spec/spec.h"
-#include "spec/stats.h"
-#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
   template <SpecState S>
-  class ParallelModelChecker
-  {
-  public:
-    explicit ParallelModelChecker(
-      const SpecDef<S>& spec, CheckLimits limits = {}) :
-      spec_(spec),
-      limits_(limits),
-      expander_(&spec_),
-      pool_(limits.threads),
-      // Over-provision shards (4x workers) so two workers rarely hash to
-      // the same stripe; a single worker keeps the sequential layout.
-      store_(pool_.size() == 1 ? 1 : 4 * static_cast<size_t>(pool_.size()))
-    {}
-
-    CheckResult<S> run()
-    {
-      Budget budget(limits_.budget_caps());
-      CheckResult<S> result;
-      store_.clear();
-
-      // Initial states are inserted and checked on the caller's thread, in
-      // spec order, exactly as the sequential engine does.
-      std::vector<Item> frontier;
-      for (const S& init : spec_.init)
-      {
-        const auto ins = expander_.admit(
-          store_, init, Store::no_parent, Store::init_action, 0);
-        if (!ins.inserted)
-        {
-          result.stats.duplicate_states++;
-          continue;
-        }
-        result.stats.generated_states++;
-        for (const auto& inv : spec_.invariants)
-        {
-          if (!inv.check(init))
-          {
-            result.counterexample =
-              reconstruct_counterexample(store_, spec_, ins.id, inv.name);
-            finish(result, budget, false);
-            return result;
-          }
-        }
-        frontier.push_back({init, ins.id, 0});
-      }
-
-      std::atomic<bool> stop{false};
-      std::atomic<bool> out_of_budget{false};
-
-      while (!frontier.empty() && !stop.load(std::memory_order_acquire))
-      {
-        std::atomic<size_t> cursor{0};
-        std::vector<WorkerLocal> locals(pool_.size());
-        for (auto& local : locals)
-        {
-          local.coverage.assign(spec_.actions.size(), 0);
-        }
-
-        pool_.run([&](unsigned w) {
-          run_worker(frontier, cursor, stop, out_of_budget, budget, locals[w]);
-        });
-
-        // Level barrier: merge worker stats and splice the next frontier
-        // (worker order, then generation order within a worker).
-        frontier.clear();
-        for (unsigned w = 0; w < pool_.size(); ++w)
-        {
-          WorkerLocal& local = locals[w];
-          result.stats.generated_states += local.generated;
-          result.stats.transitions += local.transitions;
-          result.stats.duplicate_states += local.duplicates;
-          result.stats.max_depth =
-            std::max(result.stats.max_depth, local.max_depth);
-          for (size_t a = 0; a < local.coverage.size(); ++a)
-          {
-            if (local.coverage[a] > 0)
-            {
-              result.stats.action_coverage[spec_.actions[a].name] +=
-                local.coverage[a];
-            }
-          }
-          frontier.insert(
-            frontier.end(),
-            std::make_move_iterator(local.next.begin()),
-            std::make_move_iterator(local.next.end()));
-        }
-      }
-
-      if (violation_.has_value())
-      {
-        const Violation& v = *violation_;
-        result.counterexample =
-          reconstruct_counterexample(store_, spec_, v.at, v.property);
-        if (v.successor.has_value())
-        {
-          result.counterexample->steps.push_back(
-            {spec_.actions[v.action].name, *v.successor});
-        }
-        finish(result, budget, false);
-        return result;
-      }
-
-      finish(result, budget, !out_of_budget.load(std::memory_order_acquire));
-      return result;
-    }
-
-  private:
-    using Store = ShardedStateStore<S>;
-    using Id = typename Store::Id;
-
-    struct Item
-    {
-      S state;
-      Id id;
-      uint32_t depth;
-    };
-
-    struct WorkerLocal
-    {
-      std::vector<Item> next;
-      uint64_t generated = 0;
-      uint64_t transitions = 0;
-      uint64_t duplicates = 0;
-      uint64_t max_depth = 0;
-      std::vector<uint64_t> coverage; // indexed by action
-    };
-
-    struct Violation
-    {
-      std::string property;
-      /// Invariant: the violating state's ID. Action property: the
-      /// predecessor's ID (the successor is carried separately because it
-      /// was never inserted).
-      Id at;
-      uint32_t action = 0;
-      std::optional<S> successor;
-    };
-
-    void run_worker(
-      const std::vector<Item>& frontier,
-      std::atomic<size_t>& cursor,
-      std::atomic<bool>& stop,
-      std::atomic<bool>& out_of_budget,
-      const Budget& budget,
-      WorkerLocal& local)
-    {
-      for (;;)
-      {
-        if (stop.load(std::memory_order_acquire))
-        {
-          return;
-        }
-        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= frontier.size())
-        {
-          return;
-        }
-        const Item& item = frontier[i];
-
-        if (budget.exhausted(store_.size()))
-        {
-          out_of_budget.store(true, std::memory_order_release);
-          stop.store(true, std::memory_order_release);
-          return;
-        }
-
-        local.max_depth = std::max<uint64_t>(local.max_depth, item.depth);
-        if (!expander_.within_constraint(item.state) ||
-            budget.depth_exceeded(item.depth))
-        {
-          continue;
-        }
-
-        bool violated = false;
-        for (size_t a = 0; a < spec_.actions.size() && !violated; ++a)
-        {
-          spec_.actions[a].expand(item.state, [&](const S& next) {
-            if (violated || stop.load(std::memory_order_relaxed))
-            {
-              return;
-            }
-            local.generated++;
-            local.transitions++;
-            local.coverage[a]++;
-            for (const auto& prop : spec_.action_properties)
-            {
-              if (!prop.check(item.state, next))
-              {
-                report_violation(
-                  stop,
-                  {prop.name, item.id, static_cast<uint32_t>(a), next});
-                violated = true;
-                return;
-              }
-            }
-            const auto ins = expander_.admit(
-              store_, next, item.id, static_cast<uint32_t>(a), item.depth + 1);
-            if (ins.inserted)
-            {
-              for (const auto& inv : spec_.invariants)
-              {
-                if (!inv.check(next))
-                {
-                  report_violation(
-                    stop, {inv.name, ins.id, 0, std::nullopt});
-                  violated = true;
-                  return;
-                }
-              }
-              local.next.push_back({next, ins.id, item.depth + 1});
-            }
-            else
-            {
-              local.duplicates++;
-            }
-          });
-        }
-        if (violated)
-        {
-          return;
-        }
-      }
-    }
-
-    /// First violation wins; later reports are dropped.
-    void report_violation(std::atomic<bool>& stop, Violation v)
-    {
-      std::lock_guard<std::mutex> lock(violation_mu_);
-      if (!violation_.has_value())
-      {
-        violation_ = std::move(v);
-      }
-      stop.store(true, std::memory_order_release);
-    }
-
-    void finish(CheckResult<S>& result, const Budget& budget, bool complete)
-    {
-      result.stats.distinct_states = store_.size();
-      result.stats.seconds = budget.elapsed();
-      result.stats.complete = complete;
-      if (result.counterexample)
-      {
-        result.ok = false;
-      }
-    }
-
-    const SpecDef<S>& spec_;
-    CheckLimits limits_;
-    Expander<S> expander_;
-    WorkerPool pool_;
-    Store store_;
-    std::mutex violation_mu_;
-    std::optional<Violation> violation_;
-  };
-
-  /// Entry point: dispatches on CheckLimits::threads. threads<=1 runs the
-  /// sequential reference engine; anything else runs the worker pool.
-  template <SpecState S>
-  CheckResult<S> model_check(const SpecDef<S>& spec, CheckLimits limits = {})
-  {
-    if (resolve_worker_count(limits.threads) == 1)
-    {
-      ModelChecker<S> checker(spec, limits);
-      return checker.run();
-    }
-    ParallelModelChecker<S> checker(spec, limits);
-    return checker.run();
-  }
-
-  template <SpecState S>
-  struct ReachabilityResult
-  {
-    /// Whether a state satisfying the predicate is reachable.
-    bool reachable = false;
-    /// The shortest action sequence to such a state (when reachable).
-    std::vector<TraceStep<S>> witness;
-    ExplorationStats stats;
-    /// Exploration exhausted the bounded space: unreachable is definitive.
-    bool definitive = false;
-  };
-
-  /// Searches for a reachable state satisfying `goal` — the standard trick
-  /// of model checking ¬goal as an invariant, packaged. BFS returns the
-  /// shortest witness.
-  template <SpecState S>
-  ReachabilityResult<S> find_reachable(
-    const SpecDef<S>& spec,
-    const std::string& goal_name,
-    std::function<bool(const S&)> goal,
-    CheckLimits limits = {})
-  {
-    SpecDef<S> probe = spec;
-    probe.invariants.clear();
-    probe.action_properties.clear();
-    probe.invariants.push_back(
-      {goal_name, [goal](const S& s) { return !goal(s); }});
-    const auto result = model_check(probe, limits);
-    ReachabilityResult<S> out;
-    out.stats = result.stats;
-    if (!result.ok && result.counterexample.has_value())
-    {
-      out.reachable = true;
-      out.definitive = true;
-      out.witness = result.counterexample->steps;
-    }
-    else
-    {
-      out.reachable = false;
-      out.definitive = result.stats.complete;
-    }
-    return out;
-  }
+  using ParallelModelChecker
+    [[deprecated("use ModelChecker; check() dispatches on threads")]] =
+      ModelChecker<S>;
 }

@@ -1,156 +1,17 @@
-// Multi-worker randomized simulation (§4, scaled out).
+// Deprecated shim: ParallelSimulator folded into Simulator.
 //
-// The paper leans on simulation when exhaustive checking gets too slow;
-// random walks are embarrassingly parallel, so the scaling move is to fan
-// independent seeded walks across a worker pool. Worker w runs a private
-// Simulator with seed = base_seed + w (per-seed walks are bit-reproducible
-// regardless of the worker count), and the results are merged at the end:
-// behavior and transition counts are summed, action coverage maps are
-// merged, and the per-worker fingerprint sets are unioned so
-// distinct_states measures *joint* coverage rather than the sum of
-// overlapping walks.
-//
-// A violation in any worker raises a shared stop flag that winds the
-// sibling workers down; the counterexample reported is the one from the
-// lowest-indexed violating worker, which makes the merged result
-// deterministic for a fixed (seed, threads) pair up to stop timing (the
-// flag only truncates sibling walks, it never changes their content).
+// Simulator::run() now dispatches on SimOptions::threads itself
+// (threads = 1 single-threaded walk loop, threads != 1 independent seeded
+// walks across a WorkerPool), the same way TraceValidator always has. The
+// old class name remains as an alias for one deprecation cycle.
 #pragma once
 
-#include <atomic>
-#include <mutex>
-#include <vector>
-
-#include "spec/budget.h"
 #include "spec/simulator.h"
-#include "spec/spec.h"
-#include "spec/worker_pool.h"
 
 namespace scv::spec
 {
   template <SpecState S>
-  class ParallelSimulator
-  {
-  public:
-    ParallelSimulator(const SpecDef<S>& spec, SimOptions options = {}) :
-      spec_(spec),
-      options_(options)
-    {}
-
-    /// Per-state observer, shared by all workers. Calls are serialized on
-    /// an internal mutex, so the callback itself need not be thread-safe.
-    void set_observer(std::function<void(const S&)> observer)
-    {
-      observer_ = std::move(observer);
-    }
-
-    /// Q-learning feature hash, forwarded to every worker (each worker
-    /// learns its own Q table). Must be a pure function of the state.
-    void set_q_features(std::function<uint64_t(const S&)> features)
-    {
-      q_features_ = features;
-    }
-
-    SimResult<S> run()
-    {
-      const WorkerPool pool(options_.threads);
-      const unsigned threads = pool.size();
-      if (threads == 1)
-      {
-        Simulator<S> sim(spec_, options_);
-        if (observer_)
-        {
-          sim.set_observer(observer_);
-        }
-        if (q_features_)
-        {
-          sim.set_q_features(q_features_);
-        }
-        return sim.run();
-      }
-
-      // Workers apply their own (shared-caps) budgets; this one only
-      // times the merged run.
-      const Budget budget(options_.budget_caps());
-      std::atomic<bool> stop{false};
-      std::vector<SimResult<S>> results(threads);
-      std::mutex observer_mu;
-
-      const auto work = [&](unsigned w) {
-        SimOptions options = options_;
-        options.seed = options_.seed + w;
-        options.max_behaviors = behaviors_share(threads, w);
-        Simulator<S> sim(spec_, options);
-        sim.set_stop_flag(&stop);
-        if (observer_)
-        {
-          sim.set_observer([this, &observer_mu](const S& s) {
-            std::lock_guard<std::mutex> lock(observer_mu);
-            observer_(s);
-          });
-        }
-        if (q_features_)
-        {
-          sim.set_q_features(q_features_);
-        }
-        results[w] = sim.run();
-        if (!results[w].ok)
-        {
-          stop.store(true, std::memory_order_release);
-        }
-      };
-
-      pool.run(work);
-
-      SimResult<S> merged;
-      for (unsigned w = 0; w < threads; ++w)
-      {
-        SimResult<S>& r = results[w];
-        merged.behaviors += r.behaviors;
-        merged.stats.absorb_counts(r.stats);
-        if (!r.ok && merged.ok)
-        {
-          merged.ok = false;
-          merged.counterexample = std::move(r.counterexample);
-        }
-        merged.distinct_fingerprints.merge(r.distinct_fingerprints);
-      }
-      merged.stats.distinct_states = merged.distinct_fingerprints.size();
-      merged.stats.seconds = budget.elapsed();
-      merged.stats.complete = false;
-      return merged;
-    }
-
-  private:
-    /// Splits options_.max_behaviors across workers (first workers take
-    /// the remainder); an unlimited budget stays unlimited everywhere.
-    [[nodiscard]] uint64_t behaviors_share(unsigned threads, unsigned w) const
-    {
-      if (options_.max_behaviors == UINT64_MAX)
-      {
-        return UINT64_MAX;
-      }
-      const uint64_t base = options_.max_behaviors / threads;
-      const uint64_t remainder = options_.max_behaviors % threads;
-      return base + (w < remainder ? 1 : 0);
-    }
-
-    const SpecDef<S>& spec_;
-    SimOptions options_;
-    std::function<void(const S&)> observer_;
-    std::function<uint64_t(const S&)> q_features_;
-  };
-
-  /// Entry point: dispatches on SimOptions::threads.
-  template <SpecState S>
-  SimResult<S> simulate(const SpecDef<S>& spec, SimOptions options = {})
-  {
-    if (resolve_worker_count(options.threads) == 1)
-    {
-      Simulator<S> sim(spec, options);
-      return sim.run();
-    }
-    ParallelSimulator<S> sim(spec, options);
-    return sim.run();
-  }
+  using ParallelSimulator
+    [[deprecated("use Simulator; run() dispatches on threads")]] =
+      Simulator<S>;
 }

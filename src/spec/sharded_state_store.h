@@ -25,6 +25,7 @@
 //     reconstruction happens after the worker pool stops).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -110,12 +111,20 @@ namespace scv::spec
     static constexpr Id no_parent = ~Id{0};
     static constexpr uint32_t init_action = ~uint32_t{0};
 
+    /// Admissions are tagged with the discovering engine (an EngineId
+    /// byte; engine.h defines the values) so a campaign sharing one store
+    /// across checker, simulator and validator can report per-engine
+    /// first-discovery counts next to the unioned total. Standalone
+    /// engines leave it 0.
+    static constexpr size_t max_origins = 4;
+
     struct Record
     {
       S state;
       Id parent; // no_parent for initial states
       uint32_t action; // index into the spec's action list; init_action
       uint32_t depth;
+      uint8_t origin = 0; // EngineId of the first discoverer
     };
 
     struct InsertResult
@@ -170,8 +179,14 @@ namespace scv::spec
 
     /// Inserts the state unless an equal state is already present.
     /// Fingerprint-first: full state comparison only on fp collision.
+    /// `origin` tags the discovering engine (first inserter wins the tag).
     InsertResult insert(
-      const S& state, uint64_t fp, Id parent, uint32_t action, uint32_t depth)
+      const S& state,
+      uint64_t fp,
+      Id parent,
+      uint32_t action,
+      uint32_t depth,
+      uint8_t origin = 0)
     {
       const size_t shard_idx = shard_for_fingerprint(fp);
       Shard& shard = shards_[shard_idx];
@@ -188,8 +203,9 @@ namespace scv::spec
         }
       }
       const auto local = static_cast<uint32_t>(shard.records.size());
-      shard.records.push_back({state, parent, action, depth});
+      shard.records.push_back({state, parent, action, depth, origin});
       it->second.push_back(local);
+      shard.origin_counts[origin % max_origins]++;
       shard.published.store(shard.records.size(), std::memory_order_release);
       return {encode(shard_idx, local), true};
     }
@@ -212,6 +228,36 @@ namespace scv::spec
       return shards_[shard_of(id)].records[local_of(id)];
     }
 
+    /// States first discovered by `origin` (the admission tag). Exact when
+    /// quiescent; origin counts over all origins sum to size().
+    [[nodiscard]] uint64_t origin_count(uint8_t origin) const
+    {
+      uint64_t total = 0;
+      for (const Shard& shard : shards_)
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.origin_counts[origin % max_origins];
+      }
+      return total;
+    }
+
+    /// Visits every record as fn(id, record), shard by shard in insertion
+    /// order. Quiescent callers only (same contract as record()): a
+    /// campaign seeds the next engine's frontier from the previous
+    /// engine's discoveries strictly between runs.
+    template <class Fn>
+    void for_each(Fn&& fn) const
+    {
+      for (size_t shard_idx = 0; shard_idx < shards_.size(); ++shard_idx)
+      {
+        const Shard& shard = shards_[shard_idx];
+        for (size_t local = 0; local < shard.records.size(); ++local)
+        {
+          fn(encode(shard_idx, local), shard.records[local]);
+        }
+      }
+    }
+
     void clear()
     {
       for (Shard& shard : shards_)
@@ -219,6 +265,7 @@ namespace scv::spec
         std::lock_guard<std::mutex> lock(shard.mu);
         shard.index.clear();
         shard.records.clear();
+        shard.origin_counts.fill(0);
         shard.published.store(0, std::memory_order_release);
       }
     }
@@ -226,11 +273,13 @@ namespace scv::spec
   private:
     struct Shard
     {
-      std::mutex mu;
+      mutable std::mutex mu;
       // fingerprint -> chain of local record indices with that fingerprint
       std::unordered_map<uint64_t, std::vector<uint32_t>> index;
       // deque: growth never moves existing records
       std::deque<Record> records;
+      // first-discovery counts per admission origin (EngineId byte)
+      std::array<uint64_t, max_origins> origin_counts{};
       std::atomic<size_t> published{0};
     };
 

@@ -8,6 +8,24 @@
 // weight field on Action feeds the weighted pick here; a weight override
 // map supports the manual-vs-uniform weighting experiment
 // (bench/sim_weighting).
+//
+// One engine, one entry point: Simulator::run() (and the free function
+// simulate()) dispatch on SimOptions::threads:
+//   * threads = 1 runs the single-threaded walk loop; per-seed walks are
+//     bit-reproducible.
+//   * threads != 1 fans independent seeded walks across a WorkerPool —
+//     worker w runs a private child simulator with seed = base_seed + w,
+//     results merged at the end (counts summed, coverage maps merged,
+//     per-worker fingerprint sets unioned so distinct_states measures
+//     *joint* coverage). A violation in any worker raises a shared stop
+//     flag; the lowest-indexed violating worker's counterexample wins.
+//
+// Campaign mode (campaign.h): attach_store() admits every visited state
+// into a shared ShardedStateStore (tagged with the simulator's EngineId),
+// so cross-engine coverage is unioned instead of double-counted —
+// distinct_states then reports only states *this run* discovered first.
+// set_walk_seeds() starts walks from the checker's leftover BFS frontier
+// instead of the spec's initial states.
 #pragma once
 
 #include <atomic>
@@ -17,8 +35,12 @@
 #include <unordered_set>
 
 #include "spec/budget.h"
+#include "spec/engine.h"
+#include "spec/expander.h"
+#include "spec/sharded_state_store.h"
 #include "spec/spec.h"
 #include "spec/stats.h"
+#include "spec/worker_pool.h"
 #include "util/rng.h"
 
 namespace scv::spec
@@ -38,16 +60,19 @@ namespace scv::spec
     QLearning,
   };
 
-  struct SimOptions
+  struct SimOptions : EngineOptions
   {
+    SimOptions()
+    {
+      // Simulation is quota-driven: default to a 1-second box rather than
+      // the engine-wide "effectively unlimited".
+      time_budget_seconds = 1.0;
+    }
+
     uint64_t seed = 1;
     uint64_t max_behaviors = UINT64_MAX;
+    /// Bounds each walk rather than the whole run.
     uint64_t max_depth = 50;
-    double time_budget_seconds = 1.0;
-    /// Worker threads. 1 = the single-threaded simulator; 0 = one worker
-    /// per hardware thread; N>1 fans independent walks across N workers
-    /// with seed = base seed + worker index (parallel_simulator.h).
-    unsigned threads = 1;
     /// When false, all actions are treated as weight 1 (uniform pick).
     /// Kept for backwards compatibility: false forces Uniform mode.
     bool use_weights = true;
@@ -60,23 +85,25 @@ namespace scv::spec
     double q_gamma = 0.7; // discount
     double q_epsilon = 0.1; // exploration probability
 
-    /// The exploration-core budget: work counter = behaviors started, and
-    /// max_depth bounds each walk rather than the whole run.
+    /// The exploration-core budget: work counter = behaviors started.
     [[nodiscard]] Budget::Caps budget_caps() const
     {
-      return {time_budget_seconds, max_behaviors, max_depth};
+      return make_caps(max_behaviors, max_depth);
     }
   };
 
   template <SpecState S>
-  struct SimResult
+  struct SimResult : EngineReport
   {
-    bool ok = true;
+    SimResult()
+    {
+      engine = EngineId::Simulator;
+    }
+
     std::optional<Counterexample<S>> counterexample;
-    ExplorationStats stats;
     uint64_t behaviors = 0;
-    /// The visited fingerprint set (when track_distinct); the parallel
-    /// simulator unions these across workers to measure joint coverage.
+    /// The visited fingerprint set (when track_distinct); the fan-out path
+    /// unions these across workers to measure joint coverage.
     std::unordered_set<uint64_t> distinct_fingerprints;
   };
 
@@ -87,10 +114,13 @@ namespace scv::spec
     Simulator(const SpecDef<S>& spec, SimOptions options = {}) :
       spec_(spec),
       options_(options),
-      rng_(options.seed)
+      rng_(options.seed),
+      expander_(&spec_)
     {}
 
     /// Optional per-state observer for domain-specific coverage metrics.
+    /// On the fan-out path calls are serialized on an internal mutex, so
+    /// the callback itself need not be thread-safe.
     void set_observer(std::function<void(const S&)> observer)
     {
       observer_ = std::move(observer);
@@ -99,21 +129,57 @@ namespace scv::spec
     /// Q-learning state-feature hash H: maps a state to the bucket whose
     /// action values are learned. Defaults to the full fingerprint; the
     /// paper's difficulty was exactly choosing a coarser H that
-    /// generalizes (§4).
+    /// generalizes (§4). Forwarded to every fan-out worker (each worker
+    /// learns its own Q table); must be a pure function of the state.
     void set_q_features(std::function<uint64_t(const S&)> features)
     {
       q_features_ = std::move(features);
     }
 
     /// Optional cooperative stop: when the flag becomes true the run winds
-    /// down as if the time budget expired. Used by the parallel simulator
-    /// to halt sibling workers once one of them finds a violation.
+    /// down as if the time budget expired. The fan-out path uses this to
+    /// halt sibling workers once one of them finds a violation.
     void set_stop_flag(const std::atomic<bool>* stop)
     {
       external_stop_ = stop;
     }
 
+    /// Campaign mode: admit every visited state into `store` (shared with
+    /// other engines, never cleared), tagged `origin`. distinct_states in
+    /// the result then counts only first discoveries by this run — states
+    /// another engine already found are not re-counted. The store must
+    /// outlive the simulator.
+    void attach_store(
+      ShardedStateStore<S>* store, EngineId origin = EngineId::Simulator)
+    {
+      store_ = store;
+      expander_.set_origin(static_cast<uint8_t>(origin));
+    }
+
+    /// Campaign mode: start walks from these states (chosen uniformly)
+    /// instead of the spec's initial states — typically the checker's
+    /// leftover BFS frontier. Empty reverts to spec_.init.
+    void set_walk_seeds(std::vector<S> seeds)
+    {
+      seeds_ = std::move(seeds);
+    }
+
+    /// Unified entry point: dispatches on SimOptions::threads (see
+    /// docs/SPEC.md "threads semantics").
     SimResult<S> run()
+    {
+      if (resolve_worker_count(options_.threads) == 1)
+      {
+        return run_single();
+      }
+      return run_fanout();
+    }
+
+  private:
+    using Store = ShardedStateStore<S>;
+    using Id = typename Store::Id;
+
+    SimResult<S> run_single()
     {
       // Time (or the external stop flag) exhausts a behavior mid-walk; the
       // behavior cap only stops *starting* new walks.
@@ -121,12 +187,28 @@ namespace scv::spec
       budget.set_stop_flag(external_stop_);
       SimResult<S> result;
       std::unordered_set<uint64_t> distinct;
+      // First discoveries by this run when a shared store is attached.
+      uint64_t fresh = 0;
+      const std::vector<S>& starts =
+        seeds_.empty() ? spec_.init : seeds_;
 
       while (!budget.exhausted(result.behaviors))
       {
         result.behaviors++;
-        // Pick an initial state uniformly.
-        S current = spec_.init[rng_.below(spec_.init.size())];
+        // Pick a walk start uniformly.
+        S current = starts[rng_.below(starts.size())];
+        if (!seeds_.empty())
+        {
+          result.stats.seeded_states++;
+        }
+        Id cur_id = Store::no_parent;
+        if (store_ != nullptr)
+        {
+          const auto ins = expander_.admit(
+            *store_, current, Store::no_parent, Store::init_action, 0);
+          fresh += ins.inserted ? 1 : 0;
+          cur_id = ins.id;
+        }
         note_state(current, distinct, result);
 
         std::vector<TraceStep<S>> walk;
@@ -200,12 +282,23 @@ namespace scv::spec
               result.counterexample = make_cex(walk, prop.name);
               result.counterexample->steps.push_back(
                 {spec_.actions[a].name, next});
-              finish(result, budget, distinct);
+              finish(result, budget, distinct, fresh);
               return result;
             }
           }
 
           current = next;
+          if (store_ != nullptr)
+          {
+            const auto ins = expander_.admit(
+              *store_,
+              current,
+              cur_id,
+              static_cast<uint32_t>(a),
+              static_cast<uint32_t>(depth + 1));
+            fresh += ins.inserted ? 1 : 0;
+            cur_id = ins.id;
+          }
           walk.push_back({spec_.actions[a].name, current});
           note_state(current, distinct, result);
           result.stats.max_depth =
@@ -217,7 +310,7 @@ namespace scv::spec
             {
               result.ok = false;
               result.counterexample = make_cex(walk, inv.name);
-              finish(result, budget, distinct);
+              finish(result, budget, distinct, fresh);
               return result;
             }
           }
@@ -228,11 +321,107 @@ namespace scv::spec
         }
       }
 
-      finish(result, budget, distinct);
+      finish(result, budget, distinct, fresh);
       return result;
     }
 
-  private:
+    // ---- threads != 1: independent seeded walks across a WorkerPool ----
+
+    SimResult<S> run_fanout()
+    {
+      const WorkerPool pool(options_.threads);
+      const unsigned threads = pool.size();
+
+      // Workers apply their own (shared-caps) budgets; this one only
+      // times the merged run.
+      const Budget budget(options_.budget_caps());
+      std::atomic<bool> stop{false};
+      std::vector<SimResult<S>> results(threads);
+      std::mutex observer_mu;
+
+      const auto work = [&](unsigned w) {
+        SimOptions options = options_;
+        options.seed = options_.seed + w;
+        options.max_behaviors = behaviors_share(threads, w);
+        options.threads = 1; // children run the single-threaded loop
+        Simulator<S> sim(spec_, options);
+        sim.set_stop_flag(&stop);
+        if (store_ != nullptr)
+        {
+          sim.store_ = store_;
+          sim.expander_.set_origin(origin());
+        }
+        if (!seeds_.empty())
+        {
+          sim.set_walk_seeds(seeds_);
+        }
+        if (observer_)
+        {
+          sim.set_observer([this, &observer_mu](const S& s) {
+            std::lock_guard<std::mutex> lock(observer_mu);
+            observer_(s);
+          });
+        }
+        if (q_features_)
+        {
+          sim.set_q_features(q_features_);
+        }
+        results[w] = sim.run();
+        if (!results[w].ok)
+        {
+          stop.store(true, std::memory_order_release);
+        }
+      };
+
+      pool.run(work);
+
+      SimResult<S> merged;
+      uint64_t fresh = 0;
+      for (unsigned w = 0; w < threads; ++w)
+      {
+        SimResult<S>& r = results[w];
+        merged.behaviors += r.behaviors;
+        fresh += r.stats.distinct_states;
+        merged.stats.absorb_counts(r.stats);
+        if (!r.ok && merged.ok)
+        {
+          merged.ok = false;
+          merged.counterexample = std::move(r.counterexample);
+        }
+        merged.distinct_fingerprints.merge(r.distinct_fingerprints);
+      }
+      // A shared store dedups across workers globally, so summing the
+      // children's first-discovery counts is exact; otherwise joint
+      // coverage is the unioned fingerprint set.
+      merged.stats.distinct_states =
+        store_ != nullptr ? fresh : merged.distinct_fingerprints.size();
+      merged.stats.seconds = budget.elapsed();
+      if (budget.caps().time_budget_seconds < 1e17)
+      {
+        merged.stats.budget_seconds = budget.caps().time_budget_seconds;
+      }
+      merged.stats.complete = false;
+      return merged;
+    }
+
+    [[nodiscard]] uint8_t origin() const
+    {
+      return expander_.origin();
+    }
+
+    /// Splits options_.max_behaviors across workers (first workers take
+    /// the remainder); an unlimited budget stays unlimited everywhere.
+    [[nodiscard]] uint64_t behaviors_share(unsigned threads, unsigned w) const
+    {
+      if (options_.max_behaviors == UINT64_MAX)
+      {
+        return UINT64_MAX;
+      }
+      const uint64_t base = options_.max_behaviors / threads;
+      const uint64_t remainder = options_.max_behaviors % threads;
+      return base + (w < remainder ? 1 : 0);
+    }
+
     [[nodiscard]] uint64_t q_bucket(const S& state) const
     {
       return q_features_ ? q_features_(state) : fingerprint(state);
@@ -337,10 +526,16 @@ namespace scv::spec
     void finish(
       SimResult<S>& result,
       const Budget& budget,
-      std::unordered_set<uint64_t>& distinct)
+      std::unordered_set<uint64_t>& distinct,
+      uint64_t fresh)
     {
       result.stats.seconds = budget.elapsed();
-      result.stats.distinct_states = distinct.size();
+      if (budget.caps().time_budget_seconds < 1e17)
+      {
+        result.stats.budget_seconds = budget.caps().time_budget_seconds;
+      }
+      result.stats.distinct_states =
+        store_ != nullptr ? fresh : distinct.size();
       result.stats.complete = false;
       result.distinct_fingerprints = std::move(distinct);
     }
@@ -348,13 +543,20 @@ namespace scv::spec
     const SpecDef<S>& spec_;
     SimOptions options_;
     Rng rng_;
+    Expander<S> expander_;
     std::function<void(const S&)> observer_;
     std::function<uint64_t(const S&)> q_features_;
     std::unordered_map<uint64_t, double> q_;
     const std::atomic<bool>* external_stop_ = nullptr;
+    Store* store_ = nullptr;
+    std::vector<S> seeds_;
   };
-}
 
-// The multi-worker engine and the simulate() entry point (which dispatches
-// on SimOptions::threads) live in the companion header.
-#include "spec/parallel_simulator.h"
+  /// Entry point: dispatches on SimOptions::threads.
+  template <SpecState S>
+  SimResult<S> simulate(const SpecDef<S>& spec, SimOptions options = {})
+  {
+    Simulator<S> sim(spec, options);
+    return sim.run();
+  }
+}

@@ -25,8 +25,13 @@ namespace scv::spec
     std::ostringstream os;
     os << "distinct=" << distinct_states << " generated=" << generated_states
        << " transitions=" << transitions << " duplicates=" << duplicate_states
-       << " memo_hits=" << memo_hits << " steals=" << steals
-       << " depth=" << max_depth << " seconds=" << seconds
+       << " memo_hits=" << memo_hits << " steals=" << steals;
+    if (seeded_states > 0)
+    {
+      // Campaign-only field; standalone summaries are unchanged.
+      os << " seeded=" << seeded_states;
+    }
+    os << " depth=" << max_depth << " seconds=" << seconds
        << " states/min=" << states_per_minute()
        << (complete ? " (complete)" : " (bounded)");
     return os.str();
@@ -39,6 +44,7 @@ namespace scv::spec
     duplicate_states += other.duplicate_states;
     memo_hits += other.memo_hits;
     steals += other.steals;
+    seeded_states += other.seeded_states;
     max_depth = std::max(max_depth, other.max_depth);
     for (const auto& [name, count] : other.action_coverage)
     {

@@ -28,8 +28,19 @@ namespace scv::spec
     /// deque. Zero for sequential runs and for engines on the fork-join
     /// pool.
     uint64_t steals = 0;
+    /// Campaign runs: states adopted from another engine's discoveries to
+    /// start this run — frontier records seeding a checker BFS, or walk
+    /// starts drawn from a checker frontier by the simulator. Zero for
+    /// standalone runs.
+    uint64_t seeded_states = 0;
     uint64_t max_depth = 0;
     double seconds = 0.0;
+    /// The wall-clock allotment this run was given (its
+    /// time_budget_seconds), when finite; 0 for unlimited runs. Under a
+    /// TimeBox campaign this makes budget reassignment visible: a phase
+    /// fed another phase's leftover shows budget_seconds above its naive
+    /// share of the box.
+    double budget_seconds = 0.0;
     bool complete = false; // exhausted the (constrained) state space
     /// Transitions taken per action — TLC-style action coverage; an
     /// action stuck at zero usually means a guard is wrong or the model

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "spec/budget.h"
+#include "spec/engine.h"
 #include "spec/expander.h"
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
@@ -70,12 +71,20 @@ namespace scv::spec
   };
 
   template <SpecState S>
-  struct ValidationResult
+  struct ValidationResult : EngineReport
   {
-    bool ok = false;
+    ValidationResult()
+    {
+      // A validation run is a search for a witness: it has not succeeded
+      // until one is found.
+      ok = false;
+      engine = EngineId::Validator;
+    }
+
     /// Number of trace lines successfully matched (== lines.size() iff ok).
     size_t lines_matched = 0;
     uint64_t states_explored = 0;
+    /// Mirror of stats.seconds (older callers).
     double seconds = 0.0;
     /// Candidate states alive at the deepest line reached (diagnostics).
     std::vector<S> frontier_at_failure;
@@ -88,25 +97,21 @@ namespace scv::spec
     /// predecessor links). Fault steps are folded into the line they
     /// precede.
     std::vector<S> witness;
-    /// Unified exploration-core statistics (states/s, dedup counters);
-    /// generated == states_explored, max_depth == lines_matched.
-    ExplorationStats stats;
+    // Unified exploration-core statistics live in EngineReport::stats;
+    // generated == states_explored, max_depth == lines_matched.
   };
 
-  struct ValidationOptions
+  struct ValidationOptions : EngineOptions
   {
     SearchMode mode = SearchMode::Dfs;
     /// Maximum number of fault steps composed before each line.
     size_t max_faults_per_step = 0;
-    double time_budget_seconds = 1e18;
     uint64_t max_states = UINT64_MAX;
-    /// Worker threads; same semantics as CheckLimits::threads (1 =
-    /// sequential reference engine, bit-identical results; 0 = one worker
-    /// per hardware thread). BFS splits each line's frontier across the
-    /// fork-join pool; DFS at threads > 1 runs a work-stealing search over
-    /// independent subtrees with a shared dead-end memo (first witness
-    /// wins — same verdict, possibly a different witness among equals).
-    unsigned threads = 1;
+    // threads (inherited): BFS splits each line's frontier across the
+    // fork-join pool; DFS at threads > 1 runs a work-stealing search over
+    // independent subtrees with a shared dead-end memo (first witness
+    // wins — same verdict, possibly a different witness among equals).
+    // See docs/SPEC.md "threads semantics".
     /// BFS only: retain predecessor chains only for the live frontier
     /// (ROADMAP "store-backed BFS memory"). The sharded store is cleared
     /// after every line — it then holds one line's frontier instead of
@@ -122,7 +127,7 @@ namespace scv::spec
     /// The exploration-core budget: work counter = emitted candidates.
     [[nodiscard]] Budget::Caps budget_caps() const
     {
-      return {time_budget_seconds, max_states, UINT64_MAX};
+      return make_caps(max_states, UINT64_MAX);
     }
   };
 
@@ -147,6 +152,20 @@ namespace scv::spec
       fault_ = std::move(f);
     }
 
+    /// Campaign mode: additionally admit every *newly visited* candidate
+    /// state into `store` (shared with other engines, never cleared),
+    /// keyed by the plain state fingerprint — unsalted, so a state the
+    /// checker or simulator already found is deduplicated, not re-counted.
+    /// Admissions are tagged `origin`; depth records the trace line. The
+    /// validator's own search store/memo are unaffected. The store must
+    /// outlive the validator.
+    void set_coverage_store(
+      ShardedStateStore<S>* store, EngineId origin = EngineId::Validator)
+    {
+      coverage_store_ = store;
+      expander_.set_origin(static_cast<uint8_t>(origin));
+    }
+
     ValidationResult<S> run()
     {
       budget_ = Budget(options_.budget_caps());
@@ -166,6 +185,10 @@ namespace scv::spec
       }
       result_.seconds = budget_.elapsed();
       result_.stats.seconds = result_.seconds;
+      if (budget_.caps().time_budget_seconds < 1e17)
+      {
+        result_.stats.budget_seconds = budget_.caps().time_budget_seconds;
+      }
       result_.stats.generated_states = result_.states_explored;
       result_.stats.max_depth = result_.lines_matched;
       result_.stats.complete =
@@ -182,6 +205,22 @@ namespace scv::spec
     static uint64_t key(size_t line, uint64_t fp)
     {
       return hash_combine(static_cast<uint64_t>(line) + 1, fp);
+    }
+
+    /// Campaign coverage tap: admit a candidate the search just visited
+    /// into the shared store (unsalted fingerprint — global dedup across
+    /// lines and engines). Thread-safe; no-op outside campaign mode.
+    void cover(const S& state, size_t line)
+    {
+      if (coverage_store_ != nullptr)
+      {
+        (void)expander_.admit(
+          *coverage_store_,
+          state,
+          Store::no_parent,
+          Store::init_action,
+          static_cast<uint32_t>(line));
+      }
     }
 
     // ---- BFS: full-frontier search, parallel across each line ----
@@ -249,6 +288,7 @@ namespace scv::spec
           0);
         if (ins.inserted)
         {
+          cover(init, 0);
           frontier.push_back(
             {init,
              ins.id,
@@ -388,6 +428,7 @@ namespace scv::spec
               static_cast<uint32_t>(line + 1));
             if (ins.inserted)
             {
+              cover(succ, line + 1);
               local.next.push_back(
                 {succ,
                  ins.id,
@@ -515,6 +556,9 @@ namespace scv::spec
     {
       if (line == lines_.size())
       {
+        // Matched end states count as visited coverage (BFS admits its
+        // whole final frontier; keep the DFS tap consistent).
+        cover(state, line);
         return Enter::Matched;
       }
       if (budget_.exhausted(result_.states_explored))
@@ -540,6 +584,7 @@ namespace scv::spec
         deepest_frontier_.push_back(state);
       }
       result_.stats.distinct_states++;
+      cover(state, line);
       out.line = line;
       out.fp = fp;
       expander_.with_faults(state, [&](const S& pre) {
@@ -735,6 +780,7 @@ namespace scv::spec
     {
       if (task->line == lines_.size())
       {
+        cover(task->state, task->line);
         if (!shared.witness_claimed.exchange(
               true, std::memory_order_acq_rel))
         {
@@ -775,6 +821,7 @@ namespace scv::spec
         local.deepest_frontier.push_back(task->state);
       }
       local.distinct++;
+      cover(task->state, task->line);
       task->fp = fp;
       std::vector<S> successors;
       expander_.with_faults(task->state, [&](const S& pre) {
@@ -849,6 +896,7 @@ namespace scv::spec
 
     Budget budget_;
     Expander<S> expander_;
+    Store* coverage_store_ = nullptr;
     ValidationResult<S> result_;
     std::unordered_set<uint64_t> dead_;
     size_t deepest_line_ = 0;

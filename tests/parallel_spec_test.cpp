@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "spec/model_checker.h"
+#include "spec/parallel_model_checker.h"
+#include "spec/parallel_simulator.h"
 #include "spec/simulator.h"
 #include "specs/consensus/spec.h"
 
@@ -208,16 +210,31 @@ TEST(ShardedStateStore, FingerprintCollisionFallsBackToStateComparison)
 }
 
 // ---------------------------------------------------------------------------
-// ParallelModelChecker: threads=1 must reproduce the sequential engine
+// Frontier-batched path at one worker must reproduce the sequential
+// engine. The unified ModelChecker routes threads=1 to the sequential
+// path, so attaching an (empty) external store is what forces the
+// frontier path here — the same route campaign runs take.
 // ---------------------------------------------------------------------------
 
-TEST(ParallelModelChecker, SingleWorkerMatchesSequentialOnCleanSpec)
+namespace
+{
+  template <class S>
+  CheckResult<S> check_frontier_path(const SpecDef<S>& spec, CheckLimits limits)
+  {
+    ShardedStateStore<S> store(1);
+    ModelChecker<S> checker(spec, limits);
+    checker.attach_store(&store, EngineId::Checker);
+    return checker.check();
+  }
+}
+
+TEST(ModelCheckerFrontierPath, SingleWorkerMatchesSequentialOnCleanSpec)
 {
   const auto spec = counter_spec(100);
   const auto sequential = ModelChecker<CounterState>(spec).run();
   CheckLimits limits;
   limits.threads = 1;
-  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  const auto parallel = check_frontier_path(spec, limits);
   EXPECT_TRUE(parallel.ok);
   EXPECT_TRUE(parallel.stats.complete);
   EXPECT_EQ(parallel.stats.distinct_states, sequential.stats.distinct_states);
@@ -227,7 +244,7 @@ TEST(ParallelModelChecker, SingleWorkerMatchesSequentialOnCleanSpec)
   EXPECT_EQ(parallel.stats.action_coverage, sequential.stats.action_coverage);
 }
 
-TEST(ParallelModelChecker, SingleWorkerMatchesSequentialCounterexample)
+TEST(ModelCheckerFrontierPath, SingleWorkerMatchesSequentialCounterexample)
 {
   auto spec = counter_spec(10);
   spec.invariants.push_back(
@@ -235,7 +252,7 @@ TEST(ParallelModelChecker, SingleWorkerMatchesSequentialCounterexample)
   const auto sequential = ModelChecker<CounterState>(spec).run();
   CheckLimits limits;
   limits.threads = 1;
-  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  const auto parallel = check_frontier_path(spec, limits);
   ASSERT_FALSE(sequential.ok);
   ASSERT_FALSE(parallel.ok);
   EXPECT_EQ(
@@ -243,7 +260,7 @@ TEST(ParallelModelChecker, SingleWorkerMatchesSequentialCounterexample)
   expect_same_counterexample(parallel.counterexample, sequential.counterexample);
 }
 
-TEST(ParallelModelChecker, SingleWorkerMatchesSequentialActionProperty)
+TEST(ModelCheckerFrontierPath, SingleWorkerMatchesSequentialActionProperty)
 {
   auto spec = counter_spec(10);
   spec.actions.push_back(
@@ -262,20 +279,20 @@ TEST(ParallelModelChecker, SingleWorkerMatchesSequentialActionProperty)
   const auto sequential = ModelChecker<CounterState>(spec).run();
   CheckLimits limits;
   limits.threads = 1;
-  const auto parallel = ParallelModelChecker<CounterState>(spec, limits).run();
+  const auto parallel = check_frontier_path(spec, limits);
   ASSERT_FALSE(sequential.ok);
   ASSERT_FALSE(parallel.ok);
   EXPECT_EQ(parallel.stats.generated_states, sequential.stats.generated_states);
   expect_same_counterexample(parallel.counterexample, sequential.counterexample);
 }
 
-TEST(ParallelModelChecker, SingleWorkerMatchesSequentialDieHard)
+TEST(ModelCheckerFrontierPath, SingleWorkerMatchesSequentialDieHard)
 {
   const auto spec = die_hard_spec();
   const auto sequential = ModelChecker<Jugs>(spec).run();
   CheckLimits limits;
   limits.threads = 1;
-  const auto parallel = ParallelModelChecker<Jugs>(spec, limits).run();
+  const auto parallel = check_frontier_path(spec, limits);
   ASSERT_FALSE(parallel.ok);
   ASSERT_TRUE(parallel.counterexample.has_value());
   EXPECT_EQ(parallel.counterexample->steps.size(), 7u);
@@ -296,7 +313,7 @@ TEST(ParallelModelChecker, SingleWorkerMatchesSequentialDieHard)
 }
 
 // ---------------------------------------------------------------------------
-// ParallelModelChecker: multi-worker behavior
+// ModelChecker: multi-worker behavior (threads > 1 dispatch)
 // ---------------------------------------------------------------------------
 
 namespace
@@ -311,25 +328,24 @@ namespace
 
 // Clean bounded spec: the explored *set* is deterministic regardless of
 // worker count, so the distinct count must match exactly.
-TEST(ParallelModelChecker, FourWorkersExploreExactly16DieHardStates)
+TEST(ModelCheckerParallel, FourWorkersExploreExactly16DieHardStates)
 {
   CheckLimits limits;
   limits.threads = 4;
-  const auto result =
-    ParallelModelChecker<Jugs>(die_hard_no_invariants(), limits).run();
+  const auto result = model_check(die_hard_no_invariants(), limits);
   EXPECT_TRUE(result.ok);
   EXPECT_TRUE(result.stats.complete);
   EXPECT_EQ(result.stats.distinct_states, 16u);
 }
 
-TEST(ParallelModelChecker, FourWorkersFindLevelMinimalViolation)
+TEST(ModelCheckerParallel, FourWorkersFindLevelMinimalViolation)
 {
   auto spec = counter_spec(10);
   spec.invariants.push_back(
     {"BelowFive", [](const CounterState& s) { return s.value < 5; }});
   CheckLimits limits;
   limits.threads = 4;
-  const auto result = ParallelModelChecker<CounterState>(spec, limits).run();
+  const auto result = model_check(spec, limits);
   ASSERT_FALSE(result.ok);
   ASSERT_TRUE(result.counterexample.has_value());
   EXPECT_EQ(result.counterexample->property, "BelowFive");
@@ -338,13 +354,12 @@ TEST(ParallelModelChecker, FourWorkersFindLevelMinimalViolation)
   EXPECT_EQ(result.counterexample->steps.back().state.value, 5);
 }
 
-TEST(ParallelModelChecker, LimitsRespectedAtFourWorkers)
+TEST(ModelCheckerParallel, LimitsRespectedAtFourWorkers)
 {
   CheckLimits limits;
   limits.threads = 4;
   limits.max_distinct_states = 50;
-  const auto result =
-    ParallelModelChecker<CounterState>(counter_spec(10000), limits).run();
+  const auto result = model_check(counter_spec(10000), limits);
   EXPECT_TRUE(result.ok);
   EXPECT_FALSE(result.stats.complete);
   // Workers stop claiming items once the limit trips; in-flight expansions
@@ -353,13 +368,12 @@ TEST(ParallelModelChecker, LimitsRespectedAtFourWorkers)
   EXPECT_LE(result.stats.distinct_states, 60u);
 }
 
-TEST(ParallelModelChecker, DepthLimitRespectedAtFourWorkers)
+TEST(ModelCheckerParallel, DepthLimitRespectedAtFourWorkers)
 {
   CheckLimits limits;
   limits.threads = 4;
   limits.max_depth = 3;
-  const auto result =
-    ParallelModelChecker<CounterState>(counter_spec(1000), limits).run();
+  const auto result = model_check(counter_spec(1000), limits);
   EXPECT_TRUE(result.stats.complete);
   EXPECT_EQ(result.stats.distinct_states, 4u); // 0..3
 }
@@ -385,7 +399,7 @@ namespace
   }
 }
 
-TEST(ParallelModelChecker, ConsensusBugFoundAtOneAndFourWorkers)
+TEST(ModelCheckerParallel, ConsensusBugFoundAtOneAndFourWorkers)
 {
   const auto spec = specs::ccfraft::build_spec(nack_bug_model(true));
   for (const unsigned threads : {1u, 4u})
@@ -408,7 +422,7 @@ TEST(ParallelModelChecker, ConsensusBugFoundAtOneAndFourWorkers)
   }
 }
 
-TEST(ParallelModelChecker, ConsensusCleanSpecSameCoverageAtFourWorkers)
+TEST(ModelCheckerParallel, ConsensusCleanSpecSameCoverageAtFourWorkers)
 {
   const auto spec = specs::ccfraft::build_spec(nack_bug_model(false));
   CheckLimits limits;
@@ -427,10 +441,10 @@ TEST(ParallelModelChecker, ConsensusCleanSpecSameCoverageAtFourWorkers)
 }
 
 // ---------------------------------------------------------------------------
-// ParallelSimulator
+// Simulator: fan-out behavior (threads > 1 dispatch)
 // ---------------------------------------------------------------------------
 
-TEST(ParallelSimulator, SingleWorkerMatchesSequentialSimulator)
+TEST(SimulatorFanout, SingleWorkerMatchesSequentialSimulator)
 {
   const auto spec = die_hard_no_invariants();
   SimOptions options;
@@ -440,7 +454,7 @@ TEST(ParallelSimulator, SingleWorkerMatchesSequentialSimulator)
   options.time_budget_seconds = 30.0;
   const auto sequential = Simulator<Jugs>(spec, options).run();
   options.threads = 1;
-  const auto parallel = ParallelSimulator<Jugs>(spec, options).run();
+  const auto parallel = simulate(spec, options);
   EXPECT_EQ(parallel.ok, sequential.ok);
   EXPECT_EQ(parallel.behaviors, sequential.behaviors);
   EXPECT_EQ(parallel.stats.transitions, sequential.stats.transitions);
@@ -449,7 +463,7 @@ TEST(ParallelSimulator, SingleWorkerMatchesSequentialSimulator)
     parallel.distinct_fingerprints, sequential.distinct_fingerprints);
 }
 
-TEST(ParallelSimulator, FourWorkersMergeStatsAndCoverage)
+TEST(SimulatorFanout, FourWorkersMergeStatsAndCoverage)
 {
   const auto spec = die_hard_no_invariants();
   SimOptions options;
@@ -470,7 +484,7 @@ TEST(ParallelSimulator, FourWorkersMergeStatsAndCoverage)
     result.distinct_fingerprints.size(), result.stats.distinct_states);
 }
 
-TEST(ParallelSimulator, WorkerSeedsAreIndependent)
+TEST(SimulatorFanout, WorkerSeedsAreIndependent)
 {
   // The same worker count and base seed reproduce the same merged
   // behavior count and coverage (stop-flag timing cannot differ on a
@@ -489,7 +503,7 @@ TEST(ParallelSimulator, WorkerSeedsAreIndependent)
   EXPECT_EQ(a.distinct_fingerprints, b.distinct_fingerprints);
 }
 
-TEST(ParallelSimulator, FourWorkersFindViolation)
+TEST(SimulatorFanout, FourWorkersFindViolation)
 {
   auto spec = counter_spec(20);
   spec.invariants.push_back(
@@ -506,7 +520,7 @@ TEST(ParallelSimulator, FourWorkersFindViolation)
   EXPECT_EQ(result.counterexample->steps.back().state.value, 10);
 }
 
-TEST(ParallelSimulator, ObserverSeesStatesFromAllWorkers)
+TEST(SimulatorFanout, ObserverSeesStatesFromAllWorkers)
 {
   const auto spec = counter_spec(5);
   SimOptions options;
@@ -515,7 +529,7 @@ TEST(ParallelSimulator, ObserverSeesStatesFromAllWorkers)
   options.max_depth = 5;
   options.time_budget_seconds = 30.0;
   options.threads = 4;
-  ParallelSimulator<CounterState> sim(spec, options);
+  Simulator<CounterState> sim(spec, options);
   uint64_t observed = 0;
   sim.set_observer([&observed](const CounterState&) { ++observed; });
   const auto result = sim.run();
@@ -538,3 +552,56 @@ TEST(ModelCheckDispatch, ThreadsFieldRoutesBothEngines)
   EXPECT_EQ(seq.stats.distinct_states, 51u);
   EXPECT_EQ(par.stats.distinct_states, 51u);
 }
+
+// ---------------------------------------------------------------------------
+// Deprecated aliases: ParallelModelChecker / ParallelSimulator remain
+// usable for one deprecation cycle and produce the unified engines'
+// results exactly.
+// ---------------------------------------------------------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedAliases, ParallelModelCheckerAliasMatchesModelChecker)
+{
+  const auto spec = die_hard_spec();
+  CheckLimits limits;
+  limits.threads = 1;
+  const auto via_alias = ParallelModelChecker<Jugs>(spec, limits).run();
+  const auto via_checker = ModelChecker<Jugs>(spec, limits).check();
+  ASSERT_FALSE(via_alias.ok);
+  ASSERT_FALSE(via_checker.ok);
+  EXPECT_EQ(
+    via_alias.stats.distinct_states, via_checker.stats.distinct_states);
+  ASSERT_TRUE(via_alias.counterexample.has_value());
+  ASSERT_TRUE(via_checker.counterexample.has_value());
+  ASSERT_EQ(
+    via_alias.counterexample->steps.size(),
+    via_checker.counterexample->steps.size());
+  for (size_t i = 0; i < via_alias.counterexample->steps.size(); ++i)
+  {
+    EXPECT_EQ(
+      via_alias.counterexample->steps[i].state,
+      via_checker.counterexample->steps[i].state);
+  }
+}
+
+TEST(DeprecatedAliases, ParallelSimulatorAliasMatchesSimulator)
+{
+  const auto spec = die_hard_no_invariants();
+  SimOptions options;
+  options.seed = 42;
+  options.max_behaviors = 30;
+  options.max_depth = 10;
+  options.time_budget_seconds = 30.0;
+  options.threads = 2;
+  const auto via_alias = ParallelSimulator<Jugs>(spec, options).run();
+  const auto via_simulator = Simulator<Jugs>(spec, options).run();
+  EXPECT_EQ(via_alias.ok, via_simulator.ok);
+  EXPECT_EQ(via_alias.behaviors, via_simulator.behaviors);
+  EXPECT_EQ(via_alias.stats.transitions, via_simulator.stats.transitions);
+  EXPECT_EQ(
+    via_alias.distinct_fingerprints, via_simulator.distinct_fingerprints);
+}
+
+#pragma GCC diagnostic pop

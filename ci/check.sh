@@ -56,4 +56,44 @@ echo "=== release campaign smoke (30s box) ==="
 echo "=== tsan campaign smoke (10s box, threads=4) ==="
 ./build-tsan/examples/campaign_demo --seconds=10 --threads=4
 
+# Deterministic nemesis smoke, fixed seed: the demo checks (1) same seed
+# => byte-identical fault schedules, traces, and verdicts, (2) every
+# clean fuzz-generated trace validates against the spec, and (3) with
+# Table-2 bug 1 re-injected the fuzzer finds a violation, shrinks it, and
+# the minimal .scen replays to the same failure. Any drift in the seeded
+# Rng plumbing (cluster seeds, node incarnation streams, schedule
+# generation) fails CI. Release gets the full demo; TSan runs the same
+# seed so a race-induced nondeterminism in the driver shows up as a
+# determinism failure, with a smaller clean batch for speed.
+echo "=== release nemesis smoke (seed 2026) ==="
+./build-release/examples/nemesis_demo --seed=2026 \
+  --scen-out=build-release/nemesis_min.scen
+echo "=== tsan nemesis smoke (seed 2026) ==="
+./build-tsan/examples/nemesis_demo --seed=2026 --clean-runs=4 \
+  --seconds=120 --scen-out=build-tsan/nemesis_min.scen
+
+# UBSan over the driver-facing suites: crash-restart recovery and the
+# nemesis stress pointer/variant/overflow-heavy paths (ledger rebuilds,
+# message replay, schedule mutation), where UB would otherwise pass
+# silently on friendly compilers. Scoped to the driver/consensus tests —
+# the spec engines already run under TSan above.
+echo "=== configure build-ubsan (-DSCV_SANITIZE=undefined) ==="
+# -Wno-stringop-overflow: GCC 12's stringop-overflow analysis false-
+# positives on vector<unsigned char>::push_back when UBSan
+# instrumentation changes the inlining shape; the same code builds
+# warning-clean in the Release and TSan variants above, which keep the
+# diagnostic armed.
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Release -DSCV_WERROR=ON \
+  -DSCV_SANITIZE=undefined -DCMAKE_CXX_FLAGS=-Wno-stringop-overflow
+echo "=== build build-ubsan (driver tests) ==="
+cmake --build build-ubsan -j "${JOBS}" --target \
+  raft_node_test scenario_dsl_test scenario_test e2e_test bugs_test \
+  nemesis_test client_test
+echo "=== test build-ubsan (driver tests) ==="
+for t in raft_node_test scenario_dsl_test scenario_test e2e_test \
+  bugs_test nemesis_test client_test; do
+  echo "--- ${t} (ubsan) ---"
+  "./build-ubsan/tests/${t}"
+done
+
 echo "=== ci/check.sh: all variants passed ==="

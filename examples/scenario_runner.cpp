@@ -64,8 +64,13 @@ check
     lowest = first.ledger().at(2).signer; // bootstrap signature's signer
 
     const auto params = trace::validation_params(initial, lowest, n_nodes);
+    // Loss and duplication are not recorded in traces; IsFault·Next
+    // composition lets the validator insert bounded drop/duplicate steps
+    // so scenarios run under lossy/duplicating networks validate too.
+    trace::ConsensusValidationOptions vopts;
+    vopts.fault_composition = true;
     const auto validation =
-      trace::validate_consensus_trace(cluster.trace(), params);
+      trace::validate_consensus_trace(cluster.trace(), params, vopts);
 
     std::printf(
       "%-32s ok: %zu commands, %zu trace events, validation %s "

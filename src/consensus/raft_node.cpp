@@ -60,6 +60,78 @@ namespace scv::consensus
     emit(base_event(trace::EventKind::Bootstrap));
   }
 
+  RaftNode::RaftNode(NodeConfig config, PersistedState persisted) :
+    config_(config),
+    rng_(config.rng_seed ^ (config.id * 0x9e3779b97f4a7c15ULL))
+  {
+    SCV_CHECK_MSG(
+      !persisted.ledger.empty(), "recovery needs a non-empty ledger");
+    SCV_CHECK(persisted.commit_index <= persisted.ledger.last_index());
+    SCV_CHECK(persisted.current_term >= persisted.ledger.last_term());
+
+    ledger_ = std::move(persisted.ledger);
+    current_term_ = persisted.current_term;
+    voted_for_ = persisted.voted_for;
+    commit_index_ = persisted.commit_index;
+
+    // Everything else is derived by replaying the ledger.
+    configurations_.rebuild(ledger_);
+    for (const Index i : ledger_.signature_indices_after(commit_index_))
+    {
+      committable_indices_.insert(i);
+    }
+    for (Index i = 1; i <= ledger_.last_index(); ++i)
+    {
+      note_membership_on_append(i, ledger_.at(i));
+    }
+    for (Index i = 1; i <= commit_index_; ++i)
+    {
+      const Entry& entry = ledger_.at(i);
+      if (entry.type == EntryType::Retirement)
+      {
+        retired_nodes_.insert(entry.retiring_node);
+      }
+    }
+    if (
+      membership_ == MembershipState::RetirementOrdered &&
+      !configurations_.current(commit_index_).contains(config_.id))
+    {
+      membership_ = MembershipState::RetirementCommitted;
+    }
+    if (retired_nodes_.contains(config_.id))
+    {
+      membership_ = MembershipState::RetirementCompleted;
+      role_ = Role::Retired;
+    }
+    else
+    {
+      role_ = Role::Follower;
+    }
+    reset_election_deadline();
+  }
+
+  PersistedState RaftNode::persisted_state() const
+  {
+    PersistedState out;
+    for (const Entry& entry : ledger_.entries())
+    {
+      out.ledger.append(entry);
+    }
+    out.current_term = current_term_;
+    out.voted_for = voted_for_;
+    out.commit_index = commit_index_;
+    return out;
+  }
+
+  void RaftNode::announce_recovery(Role pre_crash_role)
+  {
+    emit(base_event(trace::EventKind::Bootstrap));
+    if (pre_crash_role == Role::Leader)
+    {
+      emit(base_event(trace::EventKind::CheckQuorumStepDown));
+    }
+  }
+
   // --- helpers -----------------------------------------------------------
 
   uint64_t RaftNode::now() const

@@ -70,6 +70,21 @@ namespace scv::consensus
     Message msg;
   };
 
+  /// What a node's durable storage holds (§2.1: the ledger IS the node's
+  /// persistent state). The model is continuous durability: every append,
+  /// term change, vote and commit advance hits the disk before it has any
+  /// external effect, so a fail-stop crash loses nothing. The commit index
+  /// is persisted as a durability watermark: recovering it keeps both the
+  /// driver's CommitMonotonic invariant and the spec's commit monotonicity
+  /// intact across a restart.
+  struct PersistedState
+  {
+    Ledger ledger;
+    Term current_term = 0;
+    std::optional<NodeId> voted_for;
+    Index commit_index = 0;
+  };
+
   class RaftNode
   {
   public:
@@ -86,6 +101,15 @@ namespace scv::consensus
       NodeConfig config,
       std::vector<NodeId> initial_config,
       NodeId initial_leader);
+
+    /// Crash-restart recovery: rebuilds a node from its persisted state.
+    /// The ledger is replayed to reconstruct every derived structure
+    /// (configurations, committable signature indices, membership,
+    /// retired-node set); volatile leader state and timers start fresh and
+    /// the node always restarts as a Follower (or Retired, when its own
+    /// retirement had committed). Call announce_recovery() after wiring
+    /// the trace sink — constructor-time emissions would be lost.
+    RaftNode(NodeConfig config, PersistedState persisted);
 
     RaftNode(const RaftNode&) = delete;
     RaftNode& operator=(const RaftNode&) = delete;
@@ -137,6 +161,17 @@ namespace scv::consensus
 
     /// Scenario-driver hook: force an immediate election timeout.
     void force_timeout();
+
+    /// Snapshot of the durable state a restart recovers from (see
+    /// PersistedState for the durability model).
+    [[nodiscard]] PersistedState persisted_state() const;
+
+    /// Emits the trace events that make a recovery visible: a Bootstrap
+    /// marker, plus — when the pre-crash incarnation was a leader — a
+    /// CheckQuorumStepDown, so the spec mirrors the implicit abdication (a
+    /// restarted node is a follower; the spec leader must step down before
+    /// its later election events can validate).
+    void announce_recovery(Role pre_crash_role);
 
     // --- outputs ---------------------------------------------------------
 

@@ -6,6 +6,51 @@
 
 namespace scv::driver
 {
+  namespace
+  {
+    // The driver applies committed entries to the node's KV store; the
+    // governance map mirrors configuration and retirement transactions.
+    // Shared between the live commit callback and restart-time replay of
+    // the committed ledger prefix, so both produce identical stores.
+    void apply_committed_entry(
+      kv::Store& store, Index idx, const consensus::Entry& entry)
+    {
+      kv::WriteSet ws;
+      switch (entry.type)
+      {
+        case consensus::EntryType::Data:
+          ws.writes.push_back({"app." + std::to_string(idx), entry.data});
+          break;
+        case consensus::EntryType::Reconfiguration:
+        {
+          std::string nodes;
+          for (const NodeId n2 : entry.config)
+          {
+            if (!nodes.empty())
+            {
+              nodes += ',';
+            }
+            nodes += std::to_string(n2);
+          }
+          ws.writes.push_back({"ccf.gov.nodes.info", nodes});
+          break;
+        }
+        case consensus::EntryType::Retirement:
+          ws.writes.push_back(
+            {"ccf.gov.nodes.retired." + std::to_string(entry.retiring_node),
+             "true"});
+          break;
+        case consensus::EntryType::Signature:
+          ws.writes.push_back(
+            {"ccf.internal.signatures." + std::to_string(idx),
+             crypto::digest_to_hex(entry.root)});
+          break;
+      }
+      const kv::Version v = store.apply(ws);
+      store.commit(v);
+    }
+  }
+
   Cluster::Cluster(ClusterOptions options) :
     options_(std::move(options)),
     rng_(options_.seed),
@@ -14,16 +59,24 @@ namespace scv::driver
   {
     for (const NodeId id : options_.initial_config)
     {
-      consensus::NodeConfig cfg = options_.node_template;
-      cfg.id = id;
-      cfg.rng_seed = options_.seed ^ (id * 0x2545f4914f6cdd1dULL);
       NodeSlot slot;
       slot.node = std::make_unique<consensus::RaftNode>(
-        cfg, options_.initial_config, options_.initial_leader);
+        node_config_for(id, 0), options_.initial_config,
+        options_.initial_leader);
       slot.store = std::make_unique<kv::Store>();
       wire_node(id, *slot.node, *slot.store);
       nodes_.emplace(id, std::move(slot));
     }
+  }
+
+  consensus::NodeConfig Cluster::node_config_for(
+    NodeId id, uint64_t incarnation) const
+  {
+    consensus::NodeConfig cfg = options_.node_template;
+    cfg.id = id;
+    cfg.rng_seed = options_.seed ^ (id * 0x2545f4914f6cdd1dULL) ^
+      (incarnation * 0x9e3779b97f4a7c15ULL);
+    return cfg;
   }
 
   void Cluster::wire_node(NodeId id, consensus::RaftNode& n, kv::Store& store)
@@ -38,41 +91,7 @@ namespace scv::driver
     });
     n.set_commit_callback(
       [&store](Index idx, const consensus::Entry& entry) {
-        // The driver applies committed entries to the node's KV store; the
-        // governance map mirrors configuration and retirement transactions.
-        kv::WriteSet ws;
-        switch (entry.type)
-        {
-          case consensus::EntryType::Data:
-            ws.writes.push_back({"app." + std::to_string(idx), entry.data});
-            break;
-          case consensus::EntryType::Reconfiguration:
-          {
-            std::string nodes;
-            for (const NodeId n2 : entry.config)
-            {
-              if (!nodes.empty())
-              {
-                nodes += ',';
-              }
-              nodes += std::to_string(n2);
-            }
-            ws.writes.push_back({"ccf.gov.nodes.info", nodes});
-            break;
-          }
-          case consensus::EntryType::Retirement:
-            ws.writes.push_back(
-              {"ccf.gov.nodes.retired." + std::to_string(entry.retiring_node),
-               "true"});
-            break;
-          case consensus::EntryType::Signature:
-            ws.writes.push_back(
-              {"ccf.internal.signatures." + std::to_string(idx),
-               crypto::digest_to_hex(entry.root)});
-            break;
-        }
-        const kv::Version v = store.apply(ws);
-        store.commit(v);
+        apply_committed_entry(store, idx, entry);
       });
     (void)id;
   }
@@ -80,14 +99,12 @@ namespace scv::driver
   void Cluster::add_node(NodeId id)
   {
     SCV_CHECK_MSG(!nodes_.contains(id), "node already exists");
-    consensus::NodeConfig cfg = options_.node_template;
-    cfg.id = id;
-    cfg.rng_seed = options_.seed ^ (id * 0x2545f4914f6cdd1dULL);
     NodeSlot slot;
     // A joining node starts from the service's initial state (in CCF it
     // would fetch a snapshot); it catches up through AppendEntries.
     slot.node = std::make_unique<consensus::RaftNode>(
-      cfg, options_.initial_config, options_.initial_leader);
+      node_config_for(id, 0), options_.initial_config,
+      options_.initial_leader);
     slot.store = std::make_unique<kv::Store>();
     wire_node(id, *slot.node, *slot.store);
     nodes_.emplace(id, std::move(slot));
@@ -97,6 +114,30 @@ namespace scv::driver
   {
     SCV_CHECK(nodes_.contains(id));
     crashed_.insert(id);
+  }
+
+  void Cluster::restart(NodeId id)
+  {
+    SCV_CHECK_MSG(crashed_.contains(id), "restart needs a crashed node");
+    NodeSlot& slot = nodes_.at(id);
+    const consensus::Role pre_crash_role = slot.node->role();
+    consensus::PersistedState persisted = slot.node->persisted_state();
+    const Index committed = persisted.commit_index;
+
+    slot.node = std::make_unique<consensus::RaftNode>(
+      node_config_for(id, ++incarnation_[id]), std::move(persisted));
+    slot.store = std::make_unique<kv::Store>();
+    wire_node(id, *slot.node, *slot.store);
+
+    // Replay the committed prefix into the fresh store — the same
+    // application the live commit callback performs, so a recovered
+    // store is indistinguishable from one that never crashed.
+    for (Index i = 1; i <= committed; ++i)
+    {
+      apply_committed_entry(*slot.store, i, slot.node->ledger().at(i));
+    }
+    slot.node->announce_recovery(pre_crash_role);
+    crashed_.erase(id);
   }
 
   consensus::RaftNode& Cluster::node(NodeId id)

@@ -61,6 +61,15 @@ namespace scv::driver
     /// messages to it are dropped on delivery.
     void crash(NodeId id);
 
+    /// Crash-restart recovery: tears the crashed node down and rebuilds it
+    /// from its persisted state (ledger, term, vote, commit watermark —
+    /// see consensus::PersistedState). The KV store is reconstructed by
+    /// replaying the committed ledger prefix; the node rejoins as a
+    /// follower and catches up through AppendEntries. The restarted
+    /// incarnation gets a distinct timer-RNG stream so repeated
+    /// crash-restart cycles stay deterministic but not identical.
+    void restart(NodeId id);
+
     [[nodiscard]] bool crashed(NodeId id) const
     {
       return crashed_.contains(id);
@@ -175,6 +184,8 @@ namespace scv::driver
     };
 
     void wire_node(NodeId id, consensus::RaftNode& n, kv::Store& store);
+    [[nodiscard]] consensus::NodeConfig node_config_for(
+      NodeId id, uint64_t incarnation) const;
     void flush_outbox(NodeId id);
     void deliver_envelope(
       const net::SimNetwork<consensus::Message>::Envelope& env);
@@ -185,6 +196,8 @@ namespace scv::driver
     net::SimNetwork<consensus::Message> network_;
     std::map<NodeId, NodeSlot> nodes_;
     std::set<NodeId> crashed_;
+    /// Restart count per node; seeds each incarnation's private RNG.
+    std::map<NodeId, uint64_t> incarnation_;
     std::vector<trace::TraceEvent> trace_;
     std::map<Term, std::set<NodeId>> leaders_by_term_;
     uint64_t wire_bytes_ = 0;

@@ -331,6 +331,32 @@ namespace scv::driver
           }
           return c.reconfigure(*ids) ? "" : "no leader to reconfigure";
         }
+        // The try- variants are for randomized (nemesis) schedules: mid-
+        // chaos there is often no leader, and that must not abort the run.
+        if (cmd == "try-submit")
+        {
+          if (t.size() < 2)
+          {
+            return "'try-submit' needs a payload";
+          }
+          (void)c.submit(t[1]);
+          return "";
+        }
+        if (cmd == "try-sign")
+        {
+          (void)c.sign();
+          return "";
+        }
+        if (cmd == "try-reconfigure")
+        {
+          const auto ids = t.size() == 2 ? parse_id_list(t[1]) : std::nullopt;
+          if (!ids)
+          {
+            return "'try-reconfigure' needs a comma-separated id list";
+          }
+          (void)c.reconfigure(*ids);
+          return "";
+        }
         if (cmd == "tick" || cmd == "step")
         {
           const auto n = t.size() == 2 ? parse_u64(t[1]) : std::optional<uint64_t>(1);
@@ -452,6 +478,21 @@ namespace scv::driver
           c.crash(*id);
           return "";
         }
+        if (cmd == "restart")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id || !c.has_node(*id))
+          {
+            return "'restart' needs a known node id";
+          }
+          // Tolerant of a live node: schedule shrinking may remove the
+          // matching crash, and the orphaned restart must stay a no-op.
+          if (c.crashed(*id))
+          {
+            c.restart(*id);
+          }
+          return "";
+        }
         if (cmd == "timeout")
         {
           const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
@@ -459,8 +500,27 @@ namespace scv::driver
           {
             return "'timeout' needs a known node id";
           }
-          c.node(*id).force_timeout();
-          c.tick(*id);
+          // A crashed node cannot time out; no-op keeps randomized
+          // schedules valid when a preceding restart is shrunk away.
+          if (!c.crashed(*id))
+          {
+            c.node(*id).force_timeout();
+            c.tick(*id);
+          }
+          return "";
+        }
+        if (cmd == "skew")
+        {
+          const auto id = t.size() >= 3 ? parse_u64(t[1]) : std::nullopt;
+          const auto n = t.size() >= 3 ? parse_u64(t[2]) : std::nullopt;
+          if (!id || !n || !c.has_node(*id))
+          {
+            return "'skew' needs <id> <n>";
+          }
+          for (uint64_t k = 0; k < *n; ++k)
+          {
+            c.tick(*id);
+          }
           return "";
         }
         if (cmd == "check")

@@ -29,6 +29,9 @@
 //   sign                       signature tx via the current leader
 //   sign-by <id>               signature tx via a specific node
 //   reconfigure <id>,<id>,...  configuration change via the current leader
+//   try-submit <payload>       like submit, but a no-op when leaderless
+//   try-sign                   like sign, but a no-op when leaderless
+//   try-reconfigure <ids>      like reconfigure, but a no-op when leaderless
 //   tick <n>                   n rounds of tick_all + full drain
 //   step <n>                   n rounds of tick_all only (messages queue)
 //   deliver <from> <to>        deliver oldest message on a directed link
@@ -41,7 +44,13 @@
 //   loss <p>                   default message-loss probability
 //   duplicate <p>              default duplication probability
 //   crash <id>                 fail-stop a node
-//   timeout <id>               force an election timeout
+//   restart <id>               recover a crashed node from its ledger
+//                              (no-op when the node is not crashed, so
+//                              shrunk schedules stay well-formed)
+//   timeout <id>               force an election timeout (no-op on a
+//                              crashed node — the dead don't campaign)
+//   skew <id> <n>              clock skew: run n extra local ticks on one
+//                              node without advancing the global clock
 //   check                      run the invariant checker (fails on violation)
 //   expect-leader <id>         the current leader is <id>
 //   expect-new-leader          a leader exists and it is not the initial one

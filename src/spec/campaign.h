@@ -25,13 +25,17 @@
 //     per-phase allotment is visible as ExplorationStats::budget_seconds.
 //
 // Phase order is exhaustive-first: BFS while it is cheap, then weighted
-// simulation spending whatever the checker left, then trace validation.
-// Phases can also be run individually (run_checker() / run_simulator() /
-// run_validator()) for campaigns that interleave their own work; run()
-// restarts the box clock, individual calls do not.
+// simulation spending whatever the checker left, then trace validation,
+// then — when registered via set_nemesis_phase() — a driver-level
+// fault-injection (nemesis) phase sharing the same box, so one wall-clock
+// budget spans checker -> simulator -> validator -> nemesis. Phases can
+// also be run individually (run_checker() / run_simulator() /
+// run_validator() / run_nemesis()) for campaigns that interleave their
+// own work; run() restarts the box clock, individual calls do not.
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -168,6 +172,11 @@ namespace scv::spec
       double check_weight = 0.5;
       double sim_weight = 0.3;
       double validate_weight = 0.2;
+      /// Weight of the optional nemesis phase (set_nemesis_phase). The
+      /// default 0 leaves the first three allotments untouched; a
+      /// registered nemesis phase then runs on whatever the earlier
+      /// phases left of the box.
+      double nemesis_weight = 0.0;
       /// Engine knobs. time_budget_seconds in each is combined with the
       /// phase allotment by min(), so it only matters when tighter.
       CheckLimits check;
@@ -184,13 +193,22 @@ namespace scv::spec
       std::function<void(const S&, const Emit<S>&)> fault;
     };
 
+    /// A pluggable fourth phase: driver-level fault-injection fuzzing
+    /// (or anything else) run under the campaign's shared TimeBox. The
+    /// callback gets a child Budget carved from the box and returns
+    /// checker-style results (ok == nothing found wrong).
+    using NemesisPhase = std::function<EngineReport(const Budget& budget)>;
+
     explicit Campaign(const SpecDef<S>& spec, Options options = {}) :
       spec_(spec),
       options_(options),
       store_(shards_for(options)),
       box_(
         options.total_seconds,
-        {options.check_weight, options.sim_weight, options.validate_weight})
+        {options.check_weight,
+         options.sim_weight,
+         options.validate_weight,
+         options.nemesis_weight})
     {}
 
     /// Registers a trace for the validation phase (validated in
@@ -205,9 +223,17 @@ namespace scv::spec
         {std::move(name), std::move(init), std::move(lines), std::move(fault)});
     }
 
+    /// Registers the optional nemesis phase; run() then spans
+    /// checker -> simulator -> validator -> nemesis under one box.
+    void set_nemesis_phase(NemesisPhase phase)
+    {
+      nemesis_ = std::move(phase);
+    }
+
     /// The whole portfolio: checker, then simulator (seeded from the
-    /// checker's leftover frontier), then every registered trace. Restarts
-    /// the box clock; returns the final report.
+    /// checker's leftover frontier), then every registered trace, then —
+    /// when one is registered — the nemesis phase. Restarts the box
+    /// clock; returns the final report.
     CampaignReport run()
     {
       box_.restart();
@@ -215,6 +241,10 @@ namespace scv::spec
       (void)run_checker();
       (void)run_simulator();
       (void)run_validator();
+      if (nemesis_)
+      {
+        (void)run_nemesis();
+      }
       return report();
     }
 
@@ -323,6 +353,31 @@ namespace scv::spec
       return results;
     }
 
+    /// Phase 4 (optional): driver-level fault injection under the same
+    /// box. The callback's Budget is a child of the box budget, so the
+    /// campaign's cooperative stop and remaining wall clock bound it; the
+    /// phase contributes no spec states to the shared store.
+    EngineReport run_nemesis()
+    {
+      const double allot = box_.begin_phase();
+      EngineReport result;
+      result.engine = EngineId::Nemesis;
+      if (!nemesis_)
+      {
+        PhaseReport skipped;
+        skipped.engine = EngineId::Nemesis;
+        skipped.ran = false;
+        skipped.allotted_seconds = allot;
+        report_.phases.push_back(skipped);
+        return result;
+      }
+      const Budget phase = box_.budget().child(allot);
+      result = nemesis_(phase);
+      result.engine = EngineId::Nemesis;
+      record_phase(EngineId::Nemesis, result.ok, allot, 0, result.stats);
+      return result;
+    }
+
     /// Snapshot of the campaign so far (phases run, union coverage,
     /// elapsed clock). run() returns the same thing after all phases.
     [[nodiscard]] CampaignReport report() const
@@ -385,6 +440,7 @@ namespace scv::spec
     TimeBox box_;
     std::vector<TraceCase> traces_;
     std::vector<S> frontier_;
+    NemesisPhase nemesis_;
     CampaignReport report_;
   };
 }

@@ -38,6 +38,10 @@ namespace scv::spec
     Checker = 1,
     Simulator = 2,
     Validator = 3,
+    /// Randomized fault-injection campaigns (driver-level nemesis). Does
+    /// not admit spec states to the store; the id exists so a campaign
+    /// can schedule and report a nemesis phase next to the spec engines.
+    Nemesis = 4,
   };
 
   [[nodiscard]] constexpr const char* engine_name(EngineId id)
@@ -50,6 +54,8 @@ namespace scv::spec
         return "simulator";
       case EngineId::Validator:
         return "validator";
+      case EngineId::Nemesis:
+        return "nemesis";
       case EngineId::None:
         break;
     }

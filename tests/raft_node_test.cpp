@@ -708,3 +708,74 @@ TEST(RaftTrace, ClockCallbackStampsEvents)
   ASSERT_FALSE(events.empty());
   EXPECT_EQ(events.back().ts, 42u);
 }
+
+// ---------------------------------------------------------------------------
+// Crash-restart recovery: the recovery constructor rebuilds node state
+// from a PersistedState snapshot (continuous-durability model).
+// ---------------------------------------------------------------------------
+
+TEST(RaftRecovery, PersistedStateRoundTripsCommittedLog)
+{
+  RaftNode n(cfg(1), {1}, 1);
+  n.client_request("a");
+  n.emit_signature();
+  n.client_request("b");
+  n.emit_signature();
+  ASSERT_GT(n.commit_index(), 2u); // single-node: signatures commit alone
+
+  RaftNode r(cfg(1), n.persisted_state());
+  EXPECT_EQ(r.role(), Role::Follower);
+  EXPECT_EQ(r.current_term(), n.current_term());
+  EXPECT_EQ(r.commit_index(), n.commit_index());
+  EXPECT_EQ(r.last_index(), n.last_index());
+  for (Index i = 1; i <= n.last_index(); ++i)
+  {
+    EXPECT_EQ(r.ledger().at(i).term, n.ledger().at(i).term) << i;
+    EXPECT_EQ(r.ledger().at(i).type, n.ledger().at(i).type) << i;
+    EXPECT_EQ(r.ledger().at(i).data, n.ledger().at(i).data) << i;
+  }
+  EXPECT_EQ(
+    r.configurations().current(r.commit_index()).nodes,
+    n.configurations().current(n.commit_index()).nodes);
+}
+
+TEST(RaftRecovery, PersistedStatePreservesVote)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  n.force_timeout(); // candidate votes for itself
+  ASSERT_EQ(n.role(), Role::Candidate);
+  const PersistedState p = n.persisted_state();
+  EXPECT_EQ(p.voted_for, std::optional<NodeId>(2));
+  EXPECT_EQ(p.current_term, n.current_term());
+
+  RaftNode r(cfg(2), n.persisted_state());
+  // Recovery demotes to follower but keeps the vote: the node must not
+  // double-vote in the same term after a crash.
+  EXPECT_EQ(r.role(), Role::Follower);
+  EXPECT_EQ(r.voted_for(), std::optional<NodeId>(2));
+  EXPECT_EQ(r.current_term(), n.current_term());
+}
+
+TEST(RaftRecovery, AnnounceRecoveryEmitsStepDownForFormerLeader)
+{
+  RaftNode n(cfg(1), {1}, 1);
+  n.client_request("a");
+  n.emit_signature();
+
+  RaftNode as_leader(cfg(1), n.persisted_state());
+  std::vector<trace::TraceEvent> events;
+  as_leader.set_trace_sink(
+    [&events](const trace::TraceEvent& e) { events.push_back(e); });
+  as_leader.announce_recovery(Role::Leader);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, trace::EventKind::Bootstrap);
+  EXPECT_EQ(events[1].kind, trace::EventKind::CheckQuorumStepDown);
+
+  RaftNode as_follower(cfg(1), n.persisted_state());
+  events.clear();
+  as_follower.set_trace_sink(
+    [&events](const trace::TraceEvent& e) { events.push_back(e); });
+  as_follower.announce_recovery(Role::Follower);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, trace::EventKind::Bootstrap);
+}

@@ -167,6 +167,83 @@ TEST(ScenarioDsl, LossyNetworkStillCommits)
   EXPECT_TRUE(r.ok) << err(r);
 }
 
+TEST(ScenarioDsl, CrashRestartRecoversFromLedger)
+{
+  const auto r = run(R"(
+    nodes 1 2 3
+    seed 11
+    submit pre-crash
+    sign
+    tick 40
+    crash 1
+    tick 150
+    expect-new-leader
+    restart 1
+    tick 150
+    expect-role 1 follower
+    expect-commit 1 4
+    expect-kv 1 app.3 pre-crash
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
+TEST(ScenarioDsl, RestartIsNoOpWhenNotCrashed)
+{
+  // Shrinking can strand a restart without its crash; the DSL tolerates
+  // it (the Cluster-level API still checks).
+  const auto r = run(R"(
+    nodes 1 2 3
+    restart 2
+    submit still-works
+    sign
+    tick 40
+    expect-commit 2 4
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
+TEST(ScenarioDsl, TimeoutOnCrashedNodeIsNoOp)
+{
+  const auto r = run(R"(
+    nodes 1 2 3
+    crash 3
+    timeout 3
+    tick 30
+    expect-leader 1
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
+TEST(ScenarioDsl, TrySubmitToleratesLeaderlessCluster)
+{
+  const auto r = run(R"(
+    nodes 1 2 3
+    crash 1
+    try-submit limbo
+    try-sign
+    try-reconfigure 1,2
+    tick 5
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
+TEST(ScenarioDsl, SkewAdvancesOneLocalClock)
+{
+  // Enough skewed local ticks push one node past its election deadline
+  // while the rest of the cluster's clocks stand still.
+  const auto r = run(R"(
+    nodes 1 2 3
+    skew 2 300
+    expect-role 2 candidate
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
 TEST(ScenarioDsl, ExpectationFailureReportsLine)
 {
   const auto r = run(R"(
@@ -232,7 +309,7 @@ TEST(ScenarioDsl, ShippedScenarioFilesPassAndValidate)
   // one must execute cleanly.
   const std::vector<std::string> files = {
     "replication", "election", "checkquorum", "reconfiguration",
-    "retirement", "lossy"};
+    "retirement", "lossy", "crashrestart", "flaky_network"};
   for (const auto& name : files)
   {
     ScenarioRunner runner;

@@ -56,6 +56,19 @@ echo "=== release campaign smoke (30s box) ==="
 echo "=== tsan campaign smoke (10s box, threads=4) ==="
 ./build-tsan/examples/campaign_demo --seconds=10 --threads=4
 
+# Fingerprint-only campaign smoke: the same portfolio with --store=fp
+# switches every store (shared coverage + the validator's BFS search) to
+# fingerprint-only dedup with body dropping. The demo's own invariants
+# (all phases ran, union within [max, sum]) now gate the mode's
+# correctness end to end; the model is small enough that a 64-bit
+# collision is implausible, so the counts must match the full-mode run
+# above. TSan gets the parallel engines so the frontier-body map and
+# barrier drops race-check against concurrent inserts.
+echo "=== release campaign smoke, fingerprint-only store ==="
+./build-release/examples/campaign_demo --seconds=30 --store=fp
+echo "=== tsan campaign smoke, fingerprint-only store (threads=4) ==="
+./build-tsan/examples/campaign_demo --seconds=10 --threads=4 --store=fp
+
 # Deterministic nemesis smoke, fixed seed: the demo checks (1) same seed
 # => byte-identical fault schedules, traces, and verdicts, (2) every
 # clean fuzz-generated trace validates against the spec, and (3) with
@@ -95,5 +108,23 @@ for t in raft_node_test scenario_dsl_test scenario_test e2e_test \
   echo "--- ${t} (ubsan) ---"
   "./build-ubsan/tests/${t}"
 done
+
+# ASan over the state-store suite: the store is the one module doing
+# manual lifetime work — slab blocks handed to mmap'd spill files, bodies
+# freed behind the frontier, record views into frozen arenas — where a
+# use-after-spill or off-by-one in the flat index would be silent heap
+# corruption under the normal builds. TSan (above, via ctest) covers the
+# races; this covers the memory.
+echo "=== configure build-asan (-DSCV_SANITIZE=address) ==="
+# -Wno-maybe-uninitialized: like the UBSan variant's stringop-overflow
+# exception below, GCC 12's analysis false-positives inside std::variant
+# when ASan instrumentation changes the inlining shape; Release and TSan
+# keep the diagnostic armed.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Release -DSCV_WERROR=ON \
+  -DSCV_SANITIZE=address -DCMAKE_CXX_FLAGS=-Wno-maybe-uninitialized
+echo "=== build build-asan (statestore_test) ==="
+cmake --build build-asan -j "${JOBS}" --target statestore_test
+echo "--- statestore_test (asan) ---"
+./build-asan/tests/statestore_test
 
 echo "=== ci/check.sh: all variants passed ==="

@@ -3,6 +3,7 @@
 // session over ONE shared state store and ONE wall-clock box.
 //
 //   ./campaign_demo [--seconds=S] [--threads=N] [--check-cap=STATES]
+//                   [--store=full|fp]
 //
 // The campaign runs its three phases in exhaustive-first order:
 //   1. BFS model checking of a bounded consensus model. A complete check
@@ -39,6 +40,7 @@ int main(int argc, char** argv)
   double seconds = 10.0;
   unsigned threads = 1;
   uint64_t check_cap = 0;
+  spec::StoreMode store_mode = spec::StoreMode::full;
   for (int i = 1; i < argc; ++i)
   {
     if (std::strncmp(argv[i], "--seconds=", 10) == 0)
@@ -53,11 +55,20 @@ int main(int argc, char** argv)
     {
       check_cap = std::strtoull(argv[i] + 12, nullptr, 10);
     }
+    else if (std::strcmp(argv[i], "--store=full") == 0)
+    {
+      store_mode = spec::StoreMode::full;
+    }
+    else if (std::strcmp(argv[i], "--store=fp") == 0)
+    {
+      store_mode = spec::StoreMode::fingerprint_only;
+    }
     else
     {
       std::fprintf(
         stderr,
-        "usage: %s [--seconds=S] [--threads=N] [--check-cap=STATES]\n",
+        "usage: %s [--seconds=S] [--threads=N] [--check-cap=STATES]\n"
+        "          [--store=full|fp]\n",
         argv[0]);
       return 2;
     }
@@ -109,6 +120,13 @@ int main(int argc, char** argv)
   copts.validate.threads = threads;
   copts.sim.seed = 7;
   copts.sim.max_depth = 60;
+  // --store=fp runs the whole portfolio fingerprint-only: the shared
+  // coverage store AND the validator's private BFS search store, so the
+  // campaign invariants below double as a golden check of that mode.
+  copts.store.mode = store_mode;
+  copts.check.store.mode = store_mode;
+  copts.sim.store.mode = store_mode;
+  copts.validate.store.mode = store_mode;
   if (check_cap > 0)
   {
     copts.check.max_distinct_states = check_cap;

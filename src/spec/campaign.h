@@ -177,8 +177,17 @@ namespace scv::spec
       /// registered nemesis phase then runs on whatever the earlier
       /// phases left of the box.
       double nemesis_weight = 0.0;
+      /// The shared store's storage mode, byte ceiling and spill
+      /// directory (docs/SPEC.md "Store modes"). Fingerprint-only
+      /// campaigns drop state bodies once states leave each engine's
+      /// frontier, so cross-engine seeding only draws from body-live
+      /// records and counterexamples on cross-engine chains may be
+      /// partial (verdicts are unaffected).
+      StoreOptions store;
       /// Engine knobs. time_budget_seconds in each is combined with the
       /// phase allotment by min(), so it only matters when tighter.
+      /// (Each engine's own StoreOptions apply to its private stores —
+      /// e.g. the validator's search store — not to the shared one.)
       CheckLimits check;
       SimOptions sim;
       ValidationOptions validate;
@@ -202,7 +211,7 @@ namespace scv::spec
     explicit Campaign(const SpecDef<S>& spec, Options options = {}) :
       spec_(spec),
       options_(options),
-      store_(shards_for(options)),
+      store_(shards_for(options), options.store),
       box_(
         options.total_seconds,
         {options.check_weight,
@@ -432,6 +441,9 @@ namespace scv::spec
       phase.store_new = store_new;
       phase.stats = stats;
       report_.phases.push_back(std::move(phase));
+      // Phase boundary: every engine has joined its workers, so the
+      // shared store is quiescent — frozen arena blocks may spill.
+      store_.maybe_spill();
     }
 
     const SpecDef<S>& spec_;

@@ -27,6 +27,7 @@
 
 #include "spec/budget.h"
 #include "spec/stats.h"
+#include "spec/store_options.h"
 
 namespace scv::spec
 {
@@ -74,6 +75,12 @@ namespace scv::spec
     /// 1 = sequential reference engine (bit-identical), 0 = one worker
     /// per hardware thread, N > 1 = N workers.
     unsigned threads = 1;
+    /// State-store knobs for the engine's private store (docs/SPEC.md
+    /// "Store modes"): full vs fingerprint-only retention, the byte
+    /// ceiling (crossing it ends the run like an exhausted budget), and
+    /// the optional spill directory. Engines attached to a shared
+    /// campaign store use the campaign's store options instead.
+    StoreOptions store;
 
     /// Assembles the exploration-core budget from the shared deadline and
     /// the engine's own work/depth caps.

@@ -30,6 +30,7 @@
 // from (take_frontier()).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -70,9 +71,17 @@ namespace scv::spec
     std::optional<Counterexample<S>> counterexample;
   };
 
-  /// Walks the predecessor chain in `store` from `id` back to an initial
-  /// state. Shared by the sequential and parallel paths; callers must
-  /// ensure no concurrent inserts (see ShardedStateStore's contract).
+  /// Rebuilds the path from an initial state to `id` as a counterexample.
+  /// Full-mode stores read the predecessor chain's bodies directly (the
+  /// historical behavior, bit-identical); fingerprint-only stores replay
+  /// the recorded action chain from spec.init through the spec's actions
+  /// (ShardedStateStore::reconstruct_path). When the replay cannot
+  /// reproduce the chain — e.g. a campaign chain rooted at another
+  /// engine's seed rather than an initial state — the counterexample
+  /// falls back to the deepest suffix whose bodies are still live (at
+  /// minimum the violating state itself, which never left the frontier).
+  /// Callers must ensure no concurrent inserts (see ShardedStateStore's
+  /// contract).
   template <SpecState S>
   Counterexample<S> reconstruct_counterexample(
     const ShardedStateStore<S>& store,
@@ -83,13 +92,55 @@ namespace scv::spec
     using Store = ShardedStateStore<S>;
     Counterexample<S> cex;
     cex.property = property;
-    std::vector<TraceStep<S>> reversed;
-    for (auto cur = id; cur != Store::no_parent;)
+
+    std::vector<uint32_t> actions; // root first; actions[0] == init_action
+    for (auto cur = id;;)
     {
-      const auto& r = store.record(cur);
+      const auto r = store.record(cur);
+      actions.push_back(r.action);
+      if (r.parent == Store::no_parent)
+      {
+        break;
+      }
+      cur = r.parent;
+    }
+    std::reverse(actions.begin(), actions.end());
+
+    const auto path = store.reconstruct_path(
+      id,
+      spec.init,
+      [&](const S& s, uint32_t action, uint32_t, const Emit<S>& emit) {
+        spec.actions[action].expand(s, emit);
+      });
+    if (path.has_value() && path->size() == actions.size())
+    {
+      for (size_t i = 0; i < actions.size(); ++i)
+      {
+        cex.steps.push_back(
+          {actions[i] == Store::init_action ? "<init>" :
+                                              spec.actions[actions[i]].name,
+           (*path)[i]});
+      }
+      return cex;
+    }
+
+    // Fallback: the live-body suffix of the chain.
+    std::vector<TraceStep<S>> reversed;
+    for (auto cur = id;;)
+    {
+      const auto r = store.record(cur);
+      if (r.body == nullptr)
+      {
+        break;
+      }
       reversed.push_back(
-        {r.action == Store::init_action ? "<init>" : spec.actions[r.action].name,
-         r.state});
+        {r.action == Store::init_action ? "<init>" :
+                                          spec.actions[r.action].name,
+         *r.body});
+      if (r.parent == Store::no_parent)
+      {
+        break;
+      }
       cur = r.parent;
     }
     cex.steps.assign(reversed.rbegin(), reversed.rend());
@@ -156,9 +207,16 @@ namespace scv::spec
 
     // ---- threads == 1, private store: the sequential reference engine --
 
+    /// The store's byte ceiling, treated like an exhausted work budget.
+    [[nodiscard]] bool over_memory_budget()
+    {
+      return limits_.store.memory_budget_bytes > 0 &&
+        store().store_bytes() > limits_.store.memory_budget_bytes;
+    }
+
     CheckResult<S> check_sequential()
     {
-      owned_ = std::make_unique<Store>(1);
+      owned_ = std::make_unique<Store>(1, limits_.store);
       Budget budget(limits_.budget_caps());
       CheckResult<S> result;
 
@@ -186,16 +244,22 @@ namespace scv::spec
       size_t cursor = 0;
       while (cursor < store().size())
       {
-        if (budget.exhausted(store().size()))
+        if (budget.exhausted(store().size()) || over_memory_budget())
         {
           export_sequential_frontier(cursor);
           finish(result, budget, false);
           return result;
         }
+        if ((cursor & 0xFFFF) == 0)
+        {
+          // Block-granularity housekeeping; no-op without a spill_dir.
+          store().maybe_spill();
+        }
 
         const auto current = static_cast<Id>(cursor++);
-        // Deque-backed arena: references stay valid across inserts.
-        const S& state = store().record(current).state;
+        // Stable arenas: references stay valid across inserts (full-mode
+        // bodies live in a deque, frontier bodies in a node-based map).
+        const S& state = *store().record(current).body;
         const uint32_t depth = store().record(current).depth;
         result.stats.max_depth =
           std::max<uint64_t>(result.stats.max_depth, depth);
@@ -203,6 +267,8 @@ namespace scv::spec
         if (!expander_.within_constraint(state) ||
             budget.depth_exceeded(depth))
         {
+          // Gated states are never expanded: they leave the frontier now.
+          store().drop_body(current);
           continue;
         }
 
@@ -246,10 +312,15 @@ namespace scv::spec
         }
         if (violated)
         {
+          // Note: no drop_body here — the violating chain's tail states
+          // are still live for reconstruct_counterexample's target match.
           result.ok = false;
           finish(result, budget, false);
           return result;
         }
+        // Expanded: the state leaves the frontier (fingerprint-only mode
+        // retires its body; full mode keeps everything).
+        store().drop_body(current);
       }
 
       finish(result, budget, true);
@@ -260,9 +331,11 @@ namespace scv::spec
     /// but never expanded — that is the leftover frontier.
     void export_sequential_frontier(size_t cursor)
     {
+      // Unexpanded records never left the frontier, so their bodies are
+      // live in every store mode.
       for (size_t i = cursor; i < store().size(); ++i)
       {
-        frontier_out_.push_back(store().record(static_cast<Id>(i)).state);
+        frontier_out_.push_back(*store().record(static_cast<Id>(i)).body);
       }
     }
 
@@ -330,7 +403,8 @@ namespace scv::spec
         // Over-provision shards (4x workers) so two workers rarely hash
         // to the same stripe; a single worker keeps the sequential layout.
         owned_ = std::make_unique<Store>(
-          pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()));
+          pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()),
+          limits_.store);
       }
       Budget budget(limits_.budget_caps());
       CheckResult<S> result;
@@ -343,9 +417,16 @@ namespace scv::spec
       // depth recorded at admission).
       if (external_ != nullptr)
       {
-        store().for_each([&](Id id, const typename Store::Record& r) {
-          frontier.push_back({r.state, id, r.depth});
-        });
+        store().for_each(
+          [&](Id id, const typename Store::RecordView& r) {
+            // A fingerprint-only store has dropped expanded states'
+            // bodies; only body-live records can seed the frontier (the
+            // rest still deduplicate, which is their whole job).
+            if (r.body != nullptr)
+            {
+              frontier.push_back({*r.body, id, r.depth});
+            }
+          });
         result.stats.seeded_states = frontier.size();
       }
 
@@ -435,6 +516,18 @@ namespace scv::spec
             frontier_out_.push_back(std::move(item.state));
           }
         }
+        // Level barrier (workers joined, store quiescent): the expanded
+        // level's states leave the frontier, and frozen arena blocks may
+        // spill. Skipped on stop so a violation target's body stays live
+        // for reconstruction.
+        if (!stop.load(std::memory_order_acquire))
+        {
+          for (const Item& item : frontier)
+          {
+            store().drop_body(item.id);
+          }
+          store().maybe_spill();
+        }
         frontier = std::move(next);
       }
 
@@ -476,7 +569,9 @@ namespace scv::spec
         }
         // Check the budget before claiming, so an unexpanded item stays
         // in the frontier's unclaimed tail for the leftover export.
-        if (budget.exhausted(store().size()))
+        // store_bytes() is wait-free, so the byte ceiling is checked from
+        // workers just like the work counter.
+        if (budget.exhausted(store().size()) || over_memory_budget())
         {
           out_of_budget.store(true, std::memory_order_release);
           stop.store(true, std::memory_order_release);
@@ -571,6 +666,9 @@ namespace scv::spec
     {
       result.stats.distinct_states =
         external_ != nullptr ? inserted : store().size();
+      result.stats.store_bytes = store().store_bytes();
+      result.stats.spilled_bytes = store().spilled_bytes();
+      result.stats.rehash_count = store().rehash_count();
       result.stats.seconds = budget.elapsed();
       if (budget.caps().time_budget_seconds < 1e17)
       {

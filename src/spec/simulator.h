@@ -208,6 +208,13 @@ namespace scv::spec
             *store_, current, Store::no_parent, Store::init_action, 0);
           fresh += ins.inserted ? 1 : 0;
           cur_id = ins.id;
+          // The walk keeps its own copy of every state and builds
+          // counterexamples engine-side, so a fingerprint-only store can
+          // retire the body immediately.
+          if (ins.inserted && store_->fingerprint_only())
+          {
+            store_->drop_body(ins.id);
+          }
         }
         note_state(current, distinct, result);
 
@@ -298,6 +305,10 @@ namespace scv::spec
               static_cast<uint32_t>(depth + 1));
             fresh += ins.inserted ? 1 : 0;
             cur_id = ins.id;
+            if (ins.inserted && store_->fingerprint_only())
+            {
+              store_->drop_body(ins.id);
+            }
           }
           walk.push_back({spec_.actions[a].name, current});
           note_state(current, distinct, result);
@@ -536,6 +547,12 @@ namespace scv::spec
       }
       result.stats.distinct_states =
         store_ != nullptr ? fresh : distinct.size();
+      if (store_ != nullptr)
+      {
+        result.stats.store_bytes = store_->store_bytes();
+        result.stats.spilled_bytes = store_->spilled_bytes();
+        result.stats.rehash_count = store_->rehash_count();
+      }
       result.stats.complete = false;
       result.distinct_fingerprints = std::move(distinct);
     }

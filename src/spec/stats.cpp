@@ -31,6 +31,15 @@ namespace scv::spec
       // Campaign-only field; standalone summaries are unchanged.
       os << " seeded=" << seeded_states;
     }
+    if (store_bytes > 0)
+    {
+      os << " store_bytes=" << store_bytes;
+      if (spilled_bytes > 0)
+      {
+        os << " spilled_bytes=" << spilled_bytes;
+      }
+      os << " rehashes=" << rehash_count;
+    }
     os << " depth=" << max_depth << " seconds=" << seconds
        << " states/min=" << states_per_minute()
        << (complete ? " (complete)" : " (bounded)");
@@ -46,6 +55,11 @@ namespace scv::spec
     steals += other.steals;
     seeded_states += other.seeded_states;
     max_depth = std::max(max_depth, other.max_depth);
+    // Store metrics are snapshots of a (possibly shared) store, not
+    // per-run counters: merging takes the largest snapshot.
+    store_bytes = std::max(store_bytes, other.store_bytes);
+    spilled_bytes = std::max(spilled_bytes, other.spilled_bytes);
+    rehash_count = std::max(rehash_count, other.rehash_count);
     for (const auto& [name, count] : other.action_coverage)
     {
       action_coverage[name] += count;

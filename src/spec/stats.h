@@ -34,6 +34,13 @@ namespace scv::spec
     /// standalone runs.
     uint64_t seeded_states = 0;
     uint64_t max_depth = 0;
+    /// State-store footprint at the end of the run: resident bytes
+    /// (index + hot arena + bodies), bytes spilled to disk, and index
+    /// rehashes. Snapshots of the engine's store, not additive across
+    /// phases sharing one store — absorb_counts() takes the max.
+    uint64_t store_bytes = 0;
+    uint64_t spilled_bytes = 0;
+    uint64_t rehash_count = 0;
     double seconds = 0.0;
     /// The wall-clock allotment this run was given (its
     /// time_budget_seconds), when finite; 0 for unlimited runs. Under a

@@ -214,12 +214,19 @@ namespace scv::spec
     {
       if (coverage_store_ != nullptr)
       {
-        (void)expander_.admit(
+        const auto ins = expander_.admit(
           *coverage_store_,
           state,
           Store::no_parent,
           Store::init_action,
           static_cast<uint32_t>(line));
+        // Coverage admissions are pure membership: nothing ever walks
+        // their (parentless) chains, so a fingerprint-only store can
+        // retire the body immediately.
+        if (ins.inserted && coverage_store_->fingerprint_only())
+        {
+          coverage_store_->drop_body(ins.id);
+        }
       }
     }
 
@@ -274,7 +281,17 @@ namespace scv::spec
     {
       const WorkerPool pool(options_.threads);
       Store store(
-        pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()));
+        pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()),
+        options_.store);
+      const auto snapshot_store = [&] {
+        result_.stats.store_bytes = store.store_bytes();
+        result_.stats.spilled_bytes = store.spilled_bytes();
+        result_.stats.rehash_count = store.rehash_count();
+      };
+      const auto over_memory_budget = [&] {
+        return options_.store.memory_budget_bytes > 0 &&
+          store.store_bytes() > options_.store.memory_budget_bytes;
+      };
 
       std::vector<Item> frontier;
       for (const S& init : init_)
@@ -327,7 +344,9 @@ namespace scv::spec
         }
         result_.frontier_sizes.push_back(next.size());
 
-        if (next.empty() || budget_.exhausted(result_.states_explored))
+        if (
+          next.empty() || budget_.exhausted(result_.states_explored) ||
+          over_memory_budget())
         {
           result_.ok = false;
           result_.lines_matched = line;
@@ -338,6 +357,7 @@ namespace scv::spec
           }
           result_.failed_line = lines_[line].description;
           result_.stats.distinct_states = pruned_distinct + store.size();
+          snapshot_store();
           release_frontier_chains(frontier);
           release_frontier_chains(next);
           return;
@@ -349,6 +369,18 @@ namespace scv::spec
           pruned_distinct += store.size();
           store.clear();
           release_frontier_chains(frontier);
+        }
+        else if (store.fingerprint_only())
+        {
+          // Line barrier (pool joined, store quiescent): the expanded
+          // line's states leave the frontier; frozen arena blocks may
+          // spill. The new frontier's bodies stay live — the witness
+          // replay disambiguates against the final frontier.
+          for (const Item& item : frontier)
+          {
+            store.drop_body(item.id);
+          }
+          store.maybe_spill();
         }
         frontier = std::move(next);
       }
@@ -362,27 +394,43 @@ namespace scv::spec
         // safe again). Pruned runs walk the item's own chain instead of
         // the retired store records; both paths are first-inserter-wins,
         // so threads = 1 yields the identical witness either way.
-        std::vector<S> reversed;
         if (options_.prune_bfs_store)
         {
+          std::vector<S> reversed;
           for (const PathNode* node = frontier.front().chain.get();
                node != nullptr;
                node = node->parent.get())
           {
             reversed.push_back(node->state);
           }
+          result_.witness.assign(reversed.rbegin(), reversed.rend());
         }
         else
         {
-          for (Id id = frontier.front().id; id != Store::no_parent;
-               id = store.record(id).parent)
+          // Full mode reads the chain's bodies directly (bit-identical
+          // to the historical walk); a fingerprint-only store replays
+          // the recorded line chain from the initial states through the
+          // same fault-composed expansion, disambiguated by the
+          // surviving candidate itself (its body never left the
+          // frontier).
+          auto path = store.reconstruct_path(
+            frontier.front().id,
+            init_,
+            [&](
+              const S& s, uint32_t action, uint32_t, const Emit<S>& emit) {
+              expander_.with_faults(s, [&](const S& pre) {
+                lines_[action].expand(pre, emit);
+              });
+            },
+            &frontier.front().state);
+          if (path.has_value())
           {
-            reversed.push_back(store.record(id).state);
+            result_.witness = std::move(*path);
           }
         }
-        result_.witness.assign(reversed.rbegin(), reversed.rend());
       }
       result_.stats.distinct_states = pruned_distinct + store.size();
+      snapshot_store();
       release_frontier_chains(frontier);
     }
 

@@ -183,7 +183,7 @@ TEST(ShardedStateStore, InsertDedupsAndRecordsAreRetrievable)
   const auto child = store.insert(s2, fingerprint(s2), first.id, 0, 1);
   EXPECT_TRUE(child.inserted);
   EXPECT_EQ(store.size(), 2u);
-  EXPECT_EQ(store.record(child.id).state, s2);
+  EXPECT_EQ(store.record(child.id).state(), s2);
   EXPECT_EQ(store.record(child.id).parent, first.id);
   EXPECT_EQ(store.record(child.id).depth, 1u);
   EXPECT_EQ(store.record(first.id).parent, Store::no_parent);
@@ -205,8 +205,8 @@ TEST(ShardedStateStore, FingerprintCollisionFallsBackToStateComparison)
   EXPECT_TRUE(ib.inserted); // collision chain keeps both
   EXPECT_NE(ia.id, ib.id);
   EXPECT_EQ(store.size(), 2u);
-  EXPECT_EQ(store.record(ia.id).state, a);
-  EXPECT_EQ(store.record(ib.id).state, b);
+  EXPECT_EQ(store.record(ia.id).state(), a);
+  EXPECT_EQ(store.record(ib.id).state(), b);
 }
 
 // ---------------------------------------------------------------------------

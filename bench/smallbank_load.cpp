@@ -1,0 +1,354 @@
+// SmallBank serving-layer throughput/latency: open-loop load through
+// client sessions over the replicated KV, with end-of-run correctness
+// checks and consistency-trace validation of a bounded run.
+//
+//   ./smallbank_load [--seed=N] [--threads=T] [--ticks=N] [--period=N]
+//                    [--accounts=N] [--batch=N] [--determinism]
+//
+// Multi-threaded load is T independent deterministic cluster shards
+// (distinct seeds), one worker thread each — the repo's independent-walk
+// parallelism. Time is simulated, so "throughput" has two readings:
+//   committed_per_1k_ticks  work per simulated time (scheduling quality)
+//   states_per_s column     committed txs per wall second (harness speed)
+// Latency percentiles are in simulated ticks from submission to the
+// first COMMITTED acknowledgement.
+//
+// Emits BENCH_smallbank.json:
+//   runs: one row per thread count (committed txs/s wall) plus per-shard
+//         rows at the top thread count
+//   fields: committed, executed, p50/p90/p99_latency_ticks,
+//           committed_per_1k_ticks, plus the standard hardware_threads
+//
+// Exits nonzero when any self-check fails:
+//   * every shard commits transactions and resolves all in-flight ones
+//   * replicas agree on every smallbank.* key within each shard
+//   * savings balances never go negative
+//   * leader-ledger oracle replay reproduces each shard's leader store
+//   * a small dedicated run's history validates against the consistency
+//     spec (verdict OK)
+//   * with --determinism: two identical runs produce identical results
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/smallbank/load.h"
+#include "bench_util.h"
+#include "kv/tx.h"
+#include "trace/client_history_io.h"
+#include "trace/consistency_binding.h"
+
+using namespace scv;
+using namespace scv::bench;
+using namespace scv::app::smallbank;
+
+namespace
+{
+  struct Args
+  {
+    uint64_t seed = 2026;
+    unsigned threads = 0; // 0: sweep 1,2,4,hw
+    uint64_t ticks = 2000;
+    uint64_t period = 2;
+    uint64_t accounts = 50;
+    uint64_t batch = 4;
+    bool determinism = false;
+  };
+
+  LoadOptions options_for(const Args& args, uint64_t shard)
+  {
+    LoadOptions o;
+    o.seed = args.seed + shard * 7919;
+    o.workload.accounts = args.accounts;
+    o.duration_ticks = args.ticks;
+    o.submit_period = args.period;
+    o.batch_size = args.batch;
+    return o;
+  }
+
+  struct ShardOutcome
+  {
+    LoadResult result;
+    bool checks_ok = true;
+    std::string check_error;
+  };
+
+  /// Post-run correctness checks on one shard.
+  void check_shard(LoadRunner& runner, ShardOutcome& out)
+  {
+    auto fail = [&](const std::string& what) {
+      out.checks_ok = false;
+      if (out.check_error.empty())
+      {
+        out.check_error = what;
+      }
+    };
+
+    auto& cluster = runner.cluster();
+    if (out.result.committed == 0)
+    {
+      fail("no transactions committed");
+    }
+    if (out.result.unresolved != 0)
+    {
+      fail("in-flight transactions left unresolved");
+    }
+
+    // Replica agreement: all nodes at the same commit point hold the
+    // same smallbank.* tables. After the drain every node should have
+    // caught up to the leader's commit index.
+    const auto ids = cluster.node_ids();
+    const auto reference = ids.front();
+    const auto ref_keys =
+      cluster.store(reference).keys_with_prefix("smallbank.");
+    for (const auto id : ids)
+    {
+      auto& store = cluster.store(id);
+      if (cluster.node(id).commit_index() !=
+          cluster.node(reference).commit_index())
+      {
+        fail(
+          "node " + std::to_string(id) + " commit index diverges after drain");
+        continue;
+      }
+      const auto keys = store.keys_with_prefix("smallbank.");
+      if (keys != ref_keys)
+      {
+        fail("node " + std::to_string(id) + " key set diverges");
+        continue;
+      }
+      for (const auto& key : keys)
+      {
+        if (store.get(key) != cluster.store(reference).get(key))
+        {
+          fail("node " + std::to_string(id) + " diverges at " + key);
+          break;
+        }
+      }
+    }
+
+    // Savings never negative (transact_savings refuses overdraws).
+    for (const auto& key :
+         cluster.store(reference).keys_with_prefix("smallbank.savings/"))
+    {
+      const auto value = cluster.store(reference).get(key);
+      if (!value || std::stoll(*value) < 0)
+      {
+        fail("negative savings at " + key);
+      }
+    }
+
+    // Ledger oracle: replaying the leader's committed Data entries into a
+    // fresh store must reproduce its live store exactly — the same
+    // guarantee crash-restart recovery relies on.
+    const auto leader = cluster.find_leader();
+    if (!leader)
+    {
+      fail("no leader after drain");
+      return;
+    }
+    kv::Store oracle;
+    const auto& node = cluster.node(*leader);
+    for (consensus::Index i = 1; i <= node.commit_index(); ++i)
+    {
+      const auto& entry = node.ledger().at(i);
+      if (entry.type != consensus::EntryType::Data)
+      {
+        continue;
+      }
+      const auto ws = kv::decode_payload(entry.data);
+      if (!ws)
+      {
+        continue;
+      }
+      oracle.commit(oracle.apply(*ws));
+    }
+    for (const auto& key : ref_keys)
+    {
+      if (oracle.get(key) != cluster.store(*leader).get(key))
+      {
+        fail("oracle replay diverges at " + key);
+        break;
+      }
+    }
+  }
+
+  ShardOutcome run_shard(const Args& args, uint64_t shard)
+  {
+    ShardOutcome out;
+    LoadRunner runner(options_for(args, shard));
+    out.result = runner.run();
+    check_shard(runner, out);
+    return out;
+  }
+}
+
+int main(int argc, char** argv)
+{
+  Args args;
+  for (int i = 1; i < argc; ++i)
+  {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0)
+    {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+    {
+      args.threads =
+        static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+    else if (std::strncmp(argv[i], "--ticks=", 8) == 0)
+    {
+      args.ticks = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+    else if (std::strncmp(argv[i], "--period=", 9) == 0)
+    {
+      args.period = std::strtoull(argv[i] + 9, nullptr, 10);
+    }
+    else if (std::strncmp(argv[i], "--accounts=", 11) == 0)
+    {
+      args.accounts = std::strtoull(argv[i] + 11, nullptr, 10);
+    }
+    else if (std::strncmp(argv[i], "--batch=", 8) == 0)
+    {
+      args.batch = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+    else if (std::strcmp(argv[i], "--determinism") == 0)
+    {
+      args.determinism = true;
+    }
+  }
+
+  BenchReport out("smallbank");
+  out.add_field("seed", args.seed);
+  out.add_field("ticks", args.ticks);
+  out.add_field("submit_period", args.period);
+  out.add_field("accounts", args.accounts);
+  out.add_field("batch_size", args.batch);
+  bool all_ok = true;
+
+  const std::vector<unsigned> sweep = args.threads > 0 ?
+    std::vector<unsigned>{args.threads} :
+    thread_sweep();
+
+  std::vector<ShardOutcome> top_outcomes;
+  for (const unsigned threads : sweep)
+  {
+    std::vector<ShardOutcome> outcomes(threads);
+    Stopwatch watch;
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (unsigned w = 0; w < threads; ++w)
+      {
+        workers.emplace_back(
+          [&, w] { outcomes[w] = run_shard(args, w); });
+      }
+      for (auto& worker : workers)
+      {
+        worker.join();
+      }
+    }
+    const double seconds = watch.seconds();
+
+    uint64_t committed = 0;
+    uint64_t executed = 0;
+    uint64_t ticks = 0;
+    std::vector<uint64_t> latencies;
+    for (const auto& o : outcomes)
+    {
+      committed += o.result.committed;
+      executed += o.result.executed;
+      ticks += o.result.ticks;
+      latencies.insert(
+        latencies.end(),
+        o.result.commit_latency_ticks.begin(),
+        o.result.commit_latency_ticks.end());
+      if (!o.checks_ok)
+      {
+        all_ok = false;
+        std::printf("FAIL: %s\n", o.check_error.c_str());
+      }
+    }
+    const double per_s =
+      seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+    std::printf(
+      "threads=%u: %llu committed (%llu executed) in %.2fs wall; "
+      "p50/p90/p99 = %llu/%llu/%llu ticks\n",
+      threads,
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(executed),
+      seconds,
+      static_cast<unsigned long long>(latency_percentile(latencies, 50)),
+      static_cast<unsigned long long>(latency_percentile(latencies, 90)),
+      static_cast<unsigned long long>(latency_percentile(latencies, 99)));
+    out.add_run(
+      "load-t" + std::to_string(threads), threads, per_s, committed, seconds);
+
+    if (threads == sweep.back())
+    {
+      top_outcomes = std::move(outcomes);
+      out.add_field("committed", committed);
+      out.add_field("executed", executed);
+      out.add_field(
+        "p50_latency_ticks", latency_percentile(latencies, 50));
+      out.add_field(
+        "p90_latency_ticks", latency_percentile(latencies, 90));
+      out.add_field(
+        "p99_latency_ticks", latency_percentile(latencies, 99));
+      out.add_field(
+        "committed_per_1k_ticks",
+        ticks > 0 ? 1000.0 * static_cast<double>(committed) /
+            static_cast<double>(ticks) :
+                    0.0);
+    }
+  }
+
+  // --- consistency-trace validation of a small dedicated run --------------
+  // The consistency spec's packed TxId bounds modeled transactions, so a
+  // short run validates end-to-end (longer histories validate as bounded
+  // prefixes; see trace::history_prefix_within).
+  {
+    LoadOptions small = options_for(args, 0);
+    small.workload.accounts = 4;
+    small.duration_ticks = 36;
+    small.submit_period = 6;
+    small.batch_size = 2;
+    LoadRunner runner(small);
+    const LoadResult result = runner.run();
+    const auto prefix =
+      trace::history_prefix_within(runner.session().history(), 14);
+    const auto validation = trace::validate_consistency_trace(prefix);
+    std::printf(
+      "consistency validation: %s (%zu lines, %llu committed)\n",
+      validation.ok ? "OK" : "FAILED",
+      prefix.size(),
+      static_cast<unsigned long long>(result.committed));
+    out.add_field("trace_lines_validated", validation.lines_matched);
+    if (!validation.ok || result.committed == 0)
+    {
+      all_ok = false;
+      std::printf("FAIL: load history did not validate\n");
+    }
+  }
+
+  // --- determinism: identical args => identical results --------------------
+  if (args.determinism)
+  {
+    const ShardOutcome a = run_shard(args, 0);
+    const ShardOutcome b = run_shard(args, 0);
+    const bool same = a.result.committed == b.result.committed &&
+      a.result.executed == b.result.executed &&
+      a.result.commit_latency_ticks == b.result.commit_latency_ticks;
+    std::printf("determinism: %s\n", same ? "OK" : "FAILED");
+    if (!same)
+    {
+      all_ok = false;
+    }
+  }
+
+  out.add_field("checks_ok", all_ok);
+  out.write();
+  return all_ok ? 0 : 1;
+}

@@ -85,6 +85,20 @@ echo "=== tsan nemesis smoke (seed 2026) ==="
 ./build-tsan/examples/nemesis_demo --seed=2026 --clean-runs=4 \
   --seconds=120 --scen-out=build-tsan/nemesis_min.scen
 
+# SmallBank serving-layer smoke, fixed seed and short box: the open-loop
+# load harness drives client sessions (batching, TxStatus commit acks,
+# speculative leader reads) over the replicated KV and exits non-zero if
+# any shard fails its replica-agreement / ledger-oracle / savings-
+# nonnegative checks, if the load history stops validating against the
+# consistency spec, or (--determinism) if two identical runs diverge.
+# Release runs the determinism pass; TSan runs 4 load workers so the
+# shard-result merge race-checks.
+echo "=== release smallbank load smoke (seed 2026, determinism) ==="
+./build-release/bench/smallbank_load --seed=2026 --threads=2 --ticks=400 \
+  --determinism
+echo "=== tsan smallbank load smoke (threads=4) ==="
+./build-tsan/bench/smallbank_load --seed=2026 --threads=4 --ticks=200
+
 # UBSan over the driver-facing suites: crash-restart recovery and the
 # nemesis stress pointer/variant/overflow-heavy paths (ledger rebuilds,
 # message replay, schedule mutation), where UB would otherwise pass

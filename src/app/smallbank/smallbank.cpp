@@ -1,0 +1,204 @@
+#include "app/smallbank/smallbank.h"
+
+#include "util/check.h"
+
+namespace scv::app::smallbank
+{
+  namespace
+  {
+    std::string id_key(uint64_t id)
+    {
+      return std::to_string(id);
+    }
+
+    std::optional<int64_t> read_balance(
+      kv::Tx& tx, const kv::Table& table, uint64_t id)
+    {
+      const auto raw = tx.get(table, id_key(id));
+      if (!raw)
+      {
+        return std::nullopt;
+      }
+      return std::stoll(*raw);
+    }
+
+    void write_balance(
+      kv::Tx& tx, const kv::Table& table, uint64_t id, int64_t value)
+    {
+      tx.put(table, id_key(id), std::to_string(value));
+    }
+  }
+
+  void create_accounts(
+    kv::Tx& tx, uint64_t n, int64_t checking, int64_t savings)
+  {
+    for (uint64_t id = 1; id <= n; ++id)
+    {
+      write_balance(tx, CHECKING, id, checking);
+      write_balance(tx, SAVINGS, id, savings);
+    }
+  }
+
+  bool account_exists(kv::Tx& tx, uint64_t id)
+  {
+    return read_balance(tx, CHECKING, id).has_value();
+  }
+
+  OpResult balance(kv::Tx& tx, uint64_t id)
+  {
+    const auto checking = read_balance(tx, CHECKING, id);
+    const auto savings = read_balance(tx, SAVINGS, id);
+    if (!checking || !savings)
+    {
+      return {false, 0};
+    }
+    return {true, *checking + *savings};
+  }
+
+  OpResult deposit_checking(kv::Tx& tx, uint64_t id, int64_t amount)
+  {
+    const auto checking = read_balance(tx, CHECKING, id);
+    if (!checking || amount < 0)
+    {
+      return {false, 0};
+    }
+    const int64_t next = *checking + amount;
+    write_balance(tx, CHECKING, id, next);
+    return {true, next};
+  }
+
+  OpResult transact_savings(kv::Tx& tx, uint64_t id, int64_t amount)
+  {
+    const auto savings = read_balance(tx, SAVINGS, id);
+    if (!savings)
+    {
+      return {false, 0};
+    }
+    const int64_t next = *savings + amount;
+    if (next < 0)
+    {
+      return {false, *savings};
+    }
+    write_balance(tx, SAVINGS, id, next);
+    return {true, next};
+  }
+
+  OpResult amalgamate(kv::Tx& tx, uint64_t from, uint64_t to)
+  {
+    if (from == to)
+    {
+      return {false, 0};
+    }
+    const auto from_checking = read_balance(tx, CHECKING, from);
+    const auto from_savings = read_balance(tx, SAVINGS, from);
+    const auto to_checking = read_balance(tx, CHECKING, to);
+    if (!from_checking || !from_savings || !to_checking)
+    {
+      return {false, 0};
+    }
+    const int64_t moved = *from_checking + *from_savings;
+    write_balance(tx, CHECKING, from, 0);
+    write_balance(tx, SAVINGS, from, 0);
+    const int64_t next = *to_checking + moved;
+    write_balance(tx, CHECKING, to, next);
+    return {true, next};
+  }
+
+  OpResult write_check(kv::Tx& tx, uint64_t id, int64_t amount)
+  {
+    const auto checking = read_balance(tx, CHECKING, id);
+    const auto savings = read_balance(tx, SAVINGS, id);
+    if (!checking || !savings || amount < 0)
+    {
+      return {false, 0};
+    }
+    // Overdraft beyond total assets costs a $1 penalty (the classic
+    // SmallBank rule); the check is still honored.
+    const int64_t penalty = amount > *checking + *savings ? 1 : 0;
+    const int64_t next = *checking - amount - penalty;
+    write_balance(tx, CHECKING, id, next);
+    return {true, next};
+  }
+
+  const char* to_string(OpKind kind)
+  {
+    switch (kind)
+    {
+      case OpKind::Balance:
+        return "balance";
+      case OpKind::DepositChecking:
+        return "deposit_checking";
+      case OpKind::TransactSavings:
+        return "transact_savings";
+      case OpKind::Amalgamate:
+        return "amalgamate";
+      case OpKind::WriteCheck:
+        return "write_check";
+    }
+    return "unknown";
+  }
+
+  Op next_op(Rng& rng, const WorkloadOptions& options)
+  {
+    SCV_CHECK(options.accounts >= 2);
+    const uint64_t dice = rng.below(100);
+    Op op;
+    op.a = rng.between(1, options.accounts);
+    op.amount = static_cast<int64_t>(
+      rng.between(1, static_cast<uint64_t>(options.max_amount)));
+    const uint64_t b0 = options.pct_balance;
+    const uint64_t b1 = b0 + options.pct_deposit;
+    const uint64_t b2 = b1 + options.pct_transact;
+    const uint64_t b3 = b2 + options.pct_amalgamate;
+    if (dice < b0)
+    {
+      op.kind = OpKind::Balance;
+    }
+    else if (dice < b1)
+    {
+      op.kind = OpKind::DepositChecking;
+    }
+    else if (dice < b2)
+    {
+      op.kind = OpKind::TransactSavings;
+      // Half withdrawals, half deposits — withdrawals exercise the
+      // refused-below-zero path.
+      if (rng.chance(0.5))
+      {
+        op.amount = -op.amount;
+      }
+    }
+    else if (dice < b3)
+    {
+      op.kind = OpKind::Amalgamate;
+      op.b = rng.between(1, options.accounts - 1);
+      if (op.b >= op.a)
+      {
+        op.b += 1; // distinct from a, still uniform
+      }
+    }
+    else
+    {
+      op.kind = OpKind::WriteCheck;
+    }
+    return op;
+  }
+
+  OpResult execute(kv::Tx& tx, const Op& op)
+  {
+    switch (op.kind)
+    {
+      case OpKind::Balance:
+        return balance(tx, op.a);
+      case OpKind::DepositChecking:
+        return deposit_checking(tx, op.a, op.amount);
+      case OpKind::TransactSavings:
+        return transact_savings(tx, op.a, op.amount);
+      case OpKind::Amalgamate:
+        return amalgamate(tx, op.a, op.b);
+      case OpKind::WriteCheck:
+        return write_check(tx, op.a, op.amount);
+    }
+    return {false, 0};
+  }
+}

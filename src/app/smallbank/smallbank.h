@@ -1,0 +1,91 @@
+// SmallBank application over the replicated KV (the classic H-Store /
+// OLTP-Bench workload, and the application CCF itself uses for its
+// performance suite). Two balance tables keyed by numeric customer id and
+// the five transaction types, each implemented as a kv::Tx body: the
+// leader executes the body against its local view, and the resulting
+// write set replicates through consensus.
+//
+//   balance           read-only: savings + checking
+//   deposit_checking  checking += amount            (amount must be >= 0)
+//   transact_savings  savings  += amount, refused below zero
+//   amalgamate        move all funds of one customer into another's
+//                     checking
+//   write_check       checking -= amount, with a $1 overdraft penalty
+//
+// Balances are int64 cents stored as decimal strings. All procedures are
+// deterministic functions of (tx view, arguments), so replicas replaying
+// the leader's write set converge by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/tx.h"
+#include "util/rng.h"
+
+namespace scv::app::smallbank
+{
+  inline const kv::Table SAVINGS{"smallbank.savings"};
+  inline const kv::Table CHECKING{"smallbank.checking"};
+
+  struct OpResult
+  {
+    /// False when the procedure refused (unknown account, would overdraw
+    /// savings); a refused procedure writes nothing.
+    bool ok = false;
+    /// balance: total read; others: the resulting primary balance.
+    int64_t value = 0;
+  };
+
+  /// Creates accounts 1..n, each with the given opening balances.
+  void create_accounts(
+    kv::Tx& tx, uint64_t n, int64_t checking, int64_t savings);
+
+  [[nodiscard]] bool account_exists(kv::Tx& tx, uint64_t id);
+
+  OpResult balance(kv::Tx& tx, uint64_t id);
+  OpResult deposit_checking(kv::Tx& tx, uint64_t id, int64_t amount);
+  OpResult transact_savings(kv::Tx& tx, uint64_t id, int64_t amount);
+  OpResult amalgamate(kv::Tx& tx, uint64_t from, uint64_t to);
+  OpResult write_check(kv::Tx& tx, uint64_t id, int64_t amount);
+
+  // --- workload ----------------------------------------------------------
+
+  enum class OpKind : uint8_t
+  {
+    Balance,
+    DepositChecking,
+    TransactSavings,
+    Amalgamate,
+    WriteCheck,
+  };
+
+  const char* to_string(OpKind kind);
+
+  struct Op
+  {
+    OpKind kind = OpKind::Balance;
+    uint64_t a = 1; // primary account
+    uint64_t b = 1; // second account (amalgamate)
+    int64_t amount = 0;
+  };
+
+  struct WorkloadOptions
+  {
+    uint64_t accounts = 100;
+    /// Standard SmallBank mix, in percent (must sum to 100):
+    /// balance / deposit / transact-savings / amalgamate / write-check.
+    uint64_t pct_balance = 15;
+    uint64_t pct_deposit = 15;
+    uint64_t pct_transact = 15;
+    uint64_t pct_amalgamate = 15;
+    /// Remaining 40%: write_check.
+    int64_t max_amount = 50;
+  };
+
+  /// Deterministically samples the next operation of the mix.
+  Op next_op(Rng& rng, const WorkloadOptions& options);
+
+  /// Executes an op against a transaction (dispatch on kind).
+  OpResult execute(kv::Tx& tx, const Op& op);
+}

@@ -1172,6 +1172,17 @@ namespace scv::consensus
       }
       return TxStatus::Pending;
     }
+    // Beyond the local log. If this node has moved to a later view, the
+    // queried transaction's slot was truncated by a conflicting leader
+    // and can never reappear with that id: anything the new leader
+    // replicates at that seqno carries the higher term (CCF's tx_status
+    // rule: seqno unknown + view in the past => INVALID). Reporting
+    // PENDING-equivalent Unknown here would leave clients waiting on a
+    // transaction that is already dead.
+    if (current_term_ > txid.term)
+    {
+      return TxStatus::Invalid;
+    }
     return TxStatus::Unknown;
   }
 }

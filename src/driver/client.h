@@ -1,111 +1,13 @@
-// Client sessions over a cluster (§2, §5, §6.5).
-//
-// Models CCF's client-observable interface: a read-write transaction is
-// executed and answered by the leader *before* replication, carrying its
-// (term, index) transaction id; a read-only transaction is answered
-// locally by any node that believes itself leader; clients then use
-// status polls to learn when transactions move from PENDING to COMMITTED
-// or INVALID.
-//
-// Every interaction is recorded in a history of the five message kinds
-// the consistency spec models (§5) — the raw material for consistency
-// trace validation (§6.5). Transaction ids and observation sets are
-// expressed over *application* (Data) transactions only, matching the
-// spec's modeled application where every transaction reads the current
-// value and appends its own identifier.
+// Deprecated alias shim — the scripted client was hoisted into the
+// Session abstraction (driver/session.h), which adds request batching
+// into signature transactions, TxStatus-style commit acknowledgement,
+// and application-transaction submission over the typed KV. Kept for one
+// release cycle; include driver/session.h and use Session directly.
 #pragma once
 
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "driver/cluster.h"
+#include "driver/session.h"
 
 namespace scv::driver
 {
-  enum class ClientEventKind : uint8_t
-  {
-    RwReq,
-    RwRes,
-    RoReq,
-    RoRes,
-    Status,
-  };
-
-  const char* to_string(ClientEventKind kind);
-
-  struct ClientEvent
-  {
-    ClientEventKind kind = ClientEventKind::RwReq;
-    /// Client-local sequence number of the transaction.
-    uint64_t client_seq = 0;
-    /// Assigned transaction id. For read-write transactions `index` is the
-    /// position among application transactions in the executing leader's
-    /// log; for read-only transactions it is the observation point (the
-    /// number of application transactions observed).
-    consensus::TxId txid;
-    /// Application transactions observed, in execution order.
-    std::vector<consensus::TxId> observed;
-    consensus::TxStatus status = consensus::TxStatus::Unknown;
-
-    bool operator==(const ClientEvent&) const = default;
-  };
-
-  class Client
-  {
-  public:
-    explicit Client(Cluster& cluster) : cluster_(cluster) {}
-
-    /// Submits a read-write transaction to the current leader. The leader
-    /// executes and responds immediately (§2); the response (with tx id
-    /// and observed predecessors) is recorded. Returns the client-local
-    /// sequence number, or nullopt when no leader accepted it.
-    std::optional<uint64_t> submit_rw(std::string payload);
-
-    /// Submits a read-only transaction to `server` (or the current leader
-    /// when unset). Only a node that believes itself leader answers.
-    std::optional<uint64_t> submit_ro(
-      std::optional<NodeId> server = std::nullopt);
-
-    /// Polls the status of a previously submitted transaction on `server`
-    /// (default: current leader). Terminal statuses (COMMITTED / INVALID)
-    /// are recorded in the history once.
-    consensus::TxStatus poll(
-      uint64_t client_seq, std::optional<NodeId> server = std::nullopt);
-
-    [[nodiscard]] const std::vector<ClientEvent>& history() const
-    {
-      return history_;
-    }
-
-    /// The assigned tx id of a submitted transaction, if it was answered.
-    [[nodiscard]] std::optional<consensus::TxId> txid_of(
-      uint64_t client_seq) const;
-
-  private:
-    struct Pending
-    {
-      uint64_t client_seq;
-      bool read_only;
-      consensus::TxId txid;
-      std::vector<consensus::TxId> observed;
-      bool terminal = false;
-    };
-
-    /// Application-transaction ids in `node`'s log up to `upto` (ledger
-    /// index), in order.
-    static std::vector<consensus::TxId> app_txids_upto(
-      const consensus::RaftNode& node, consensus::Index upto);
-
-    /// Application-transaction ids in `node`'s *committed* prefix.
-    static std::vector<consensus::TxId> committed_app_txids(
-      const consensus::RaftNode& node);
-
-    Pending* find(uint64_t client_seq);
-
-    Cluster& cluster_;
-    std::vector<ClientEvent> history_;
-    std::vector<Pending> pending_;
-    uint64_t next_seq_ = 1;
-  };
+  using Client [[deprecated("use scv::driver::Session")]] = Session;
 }

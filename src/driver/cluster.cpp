@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kv/tx.h"
 #include "util/check.h"
 
 namespace scv::driver
@@ -19,7 +20,17 @@ namespace scv::driver
       switch (entry.type)
       {
         case consensus::EntryType::Data:
-          ws.writes.push_back({"app." + std::to_string(idx), entry.data});
+          // Application transactions carrying an encoded kv write set
+          // apply as the leader-executed writes; legacy opaque payloads
+          // keep the positional app.<idx> cell.
+          if (auto decoded = kv::decode_payload(entry.data))
+          {
+            ws = std::move(*decoded);
+          }
+          else
+          {
+            ws.writes.push_back({"app." + std::to_string(idx), entry.data});
+          }
           break;
         case consensus::EntryType::Reconfiguration:
         {
@@ -321,8 +332,17 @@ namespace scv::driver
     {
       return std::nullopt;
     }
-    const auto txid = node(*leader).client_request(std::move(data));
-    flush_outbox(*leader);
+    return submit_to(*leader, std::move(data));
+  }
+
+  std::optional<TxId> Cluster::submit_to(NodeId id, std::string data)
+  {
+    if (!nodes_.contains(id) || crashed_.contains(id))
+    {
+      return std::nullopt;
+    }
+    const auto txid = node(id).client_request(std::move(data));
+    flush_outbox(id);
     return txid;
   }
 

@@ -136,6 +136,11 @@ namespace scv::driver
     /// Submits a client transaction to the current leader (if any).
     std::optional<TxId> submit(std::string data);
 
+    /// Submits a client transaction to a specific node, flushing its
+    /// outbox; nullopt when the node is absent, crashed, or refuses
+    /// (does not believe itself leader).
+    std::optional<TxId> submit_to(NodeId id, std::string data);
+
     /// Asks the current leader to emit a signature transaction.
     std::optional<TxId> sign();
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "driver/session.h"
 #include "util/strings.h"
 
 namespace scv::driver
@@ -274,6 +275,9 @@ namespace scv::driver
           }
           options_.node_template = node_template_;
           cluster_ = std::make_unique<Cluster>(options_);
+          // All client-side commands run through one Session — the same
+          // serving path the nemesis and the load harness use.
+          session_ = std::make_unique<Session>(*cluster_);
           invariants_ = std::make_unique<InvariantChecker>(*cluster_);
         }
         Cluster& c = *cluster_;
@@ -294,7 +298,10 @@ namespace scv::driver
           {
             return "'submit' needs a payload";
           }
-          return c.submit(t[1]) ? "" : "no leader accepted the request";
+          const auto seq = session_->submit_rw(t[1]);
+          return seq && session_->raw_txid_of(*seq) ?
+            "" :
+            "no leader accepted the request";
         }
         if (cmd == "submit-to")
         {
@@ -303,13 +310,14 @@ namespace scv::driver
           {
             return "'submit-to' needs a known node id and payload";
           }
-          return c.node(*id).client_request(t[2]).has_value() ?
+          const auto seq = session_->submit_rw(t[2], *id);
+          return seq && session_->raw_txid_of(*seq) ?
             "" :
             "node refused the request";
         }
         if (cmd == "sign")
         {
-          return c.sign() ? "" : "no leader to sign";
+          return session_->sign() ? "" : "no leader to sign";
         }
         if (cmd == "sign-by")
         {
@@ -339,12 +347,12 @@ namespace scv::driver
           {
             return "'try-submit' needs a payload";
           }
-          (void)c.submit(t[1]);
+          (void)session_->submit_rw(t[1]);
           return "";
         }
         if (cmd == "try-sign")
         {
-          (void)c.sign();
+          (void)session_->sign();
           return "";
         }
         if (cmd == "try-reconfigure")
@@ -658,6 +666,7 @@ namespace scv::driver
       }();
       bool leader_set_ = false;
       std::unique_ptr<Cluster> cluster_;
+      std::unique_ptr<Session> session_;
       std::unique_ptr<InvariantChecker> invariants_;
     };
   }

@@ -1,0 +1,136 @@
+#include "kv/tx.h"
+
+#include <algorithm>
+
+#include "util/hex.h"
+#include "util/strings.h"
+
+namespace scv::kv
+{
+  namespace
+  {
+    constexpr const char* kMagic = "kvws1";
+  }
+
+  ReadView store_view(const Store& store, Version at)
+  {
+    return [&store, at](const std::string& full_key) {
+      return store.get_at(full_key, at);
+    };
+  }
+
+  std::optional<std::string> Tx::get(
+    const Table& table, const std::string& key)
+  {
+    const std::string full = table.key_of(key);
+    const auto written = writes_.find(full);
+    if (written != writes_.end())
+    {
+      return written->second;
+    }
+    if (std::find(reads_.begin(), reads_.end(), full) == reads_.end())
+    {
+      reads_.push_back(full);
+    }
+    return view_(full);
+  }
+
+  void Tx::put(const Table& table, const std::string& key, std::string value)
+  {
+    writes_[table.key_of(key)] = std::move(value);
+  }
+
+  void Tx::remove(const Table& table, const std::string& key)
+  {
+    writes_[table.key_of(key)] = std::nullopt;
+  }
+
+  WriteSet Tx::write_set() const
+  {
+    WriteSet ws;
+    ws.writes.reserve(writes_.size());
+    for (const auto& [key, value] : writes_)
+    {
+      ws.writes.push_back({key, value});
+    }
+    return ws;
+  }
+
+  std::string Tx::payload() const
+  {
+    return encode_payload(write_set());
+  }
+
+  std::string encode_payload(const WriteSet& ws)
+  {
+    std::string out = kMagic;
+    for (const auto& w : ws.writes)
+    {
+      out += '\n';
+      out += w.value ? 'w' : 'd';
+      out += ' ';
+      out += to_hex(
+        reinterpret_cast<const uint8_t*>(w.key.data()), w.key.size());
+      if (w.value)
+      {
+        out += ' ';
+        out += to_hex(
+          reinterpret_cast<const uint8_t*>(w.value->data()), w.value->size());
+      }
+    }
+    return out;
+  }
+
+  bool is_kv_payload(const std::string& payload)
+  {
+    return payload == kMagic || starts_with(payload, std::string(kMagic) + "\n");
+  }
+
+  std::optional<WriteSet> decode_payload(const std::string& payload)
+  {
+    if (!is_kv_payload(payload))
+    {
+      return std::nullopt;
+    }
+    WriteSet ws;
+    const auto lines = split(payload, '\n');
+    for (size_t i = 1; i < lines.size(); ++i)
+    {
+      const auto fields = split(lines[i], ' ');
+      const bool is_write = !fields.empty() && fields[0] == "w";
+      const bool is_delete = !fields.empty() && fields[0] == "d";
+      if (
+        (is_write && fields.size() != 3 && fields.size() != 2) ||
+        (is_delete && fields.size() != 2) || (!is_write && !is_delete))
+      {
+        return std::nullopt;
+      }
+      const auto key = from_hex(fields[1]);
+      if (!key)
+      {
+        return std::nullopt;
+      }
+      KeyWrite w;
+      w.key.assign(key->begin(), key->end());
+      if (is_write)
+      {
+        // "w <key>" with no third field encodes an empty value.
+        if (fields.size() == 3)
+        {
+          const auto value = from_hex(fields[2]);
+          if (!value)
+          {
+            return std::nullopt;
+          }
+          w.value = std::string(value->begin(), value->end());
+        }
+        else
+        {
+          w.value = std::string();
+        }
+      }
+      ws.writes.push_back(std::move(w));
+    }
+    return ws;
+  }
+}

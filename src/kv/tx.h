@@ -1,0 +1,113 @@
+// Typed table/transaction API over the versioned store.
+//
+// Applications address keys through Tables (a named namespace) and execute
+// against a Tx that resolves reads at a fixed version (or through an
+// arbitrary read view, e.g. a leader's speculative ordered-but-uncommitted
+// state) and accumulates a write set. The write set serializes to the
+// existing WriteSet — and to a self-describing replicable payload string —
+// so applications never hand-build key strings and every replica applies
+// the same bytes the leader executed.
+//
+// Execution model (CCF §2): the leader runs the transaction body against
+// its local view, answers the client immediately, and replicates only the
+// resulting write set; followers apply the decoded write set when the
+// entry commits. Execution is serialized at the leader, so there is no
+// optimistic-concurrency retry loop here — the read set is still tracked
+// for observability and tests.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kv/store.h"
+
+namespace scv::kv
+{
+  /// A named key namespace, e.g. {"smallbank.checking"}.
+  struct Table
+  {
+    std::string name;
+
+    /// Full store key for `key` in this table.
+    [[nodiscard]] std::string key_of(const std::string& key) const
+    {
+      return name + "/" + key;
+    }
+  };
+
+  /// Complete point-in-time read view: full key -> value (nullopt when
+  /// absent). Implementations resolve deletions internally.
+  using ReadView = std::function<std::optional<std::string>(
+    const std::string& full_key)>;
+
+  /// Read view over a store at a fixed version.
+  ReadView store_view(const Store& store, Version at);
+
+  class Tx
+  {
+  public:
+    /// Reads resolve against the store's current version.
+    explicit Tx(const Store& store) :
+      Tx(store_view(store, store.current_version()), store.current_version())
+    {}
+
+    /// Reads resolve against a historical version.
+    Tx(const Store& store, Version at) : Tx(store_view(store, at), at) {}
+
+    /// Reads resolve against an arbitrary view (e.g. a leader's
+    /// speculative state); `read_version` is informational.
+    explicit Tx(ReadView view, Version read_version = 0) :
+      view_(std::move(view)), read_version_(read_version)
+    {}
+
+    /// Value of a key, observing this transaction's own writes first.
+    [[nodiscard]] std::optional<std::string> get(
+      const Table& table, const std::string& key);
+
+    void put(const Table& table, const std::string& key, std::string value);
+
+    void remove(const Table& table, const std::string& key);
+
+    /// Keys read so far (full keys, first-read order, deduplicated).
+    [[nodiscard]] const std::vector<std::string>& reads() const
+    {
+      return reads_;
+    }
+
+    [[nodiscard]] Version read_version() const
+    {
+      return read_version_;
+    }
+
+    [[nodiscard]] bool has_writes() const
+    {
+      return !writes_.empty();
+    }
+
+    /// The accumulated write set, one coalesced write per key in key
+    /// order — deterministic, so the serialized payload is too.
+    [[nodiscard]] WriteSet write_set() const;
+
+    /// write_set() encoded as a replicable payload string.
+    [[nodiscard]] std::string payload() const;
+
+  private:
+    ReadView view_;
+    Version read_version_ = 0;
+    std::map<std::string, std::optional<std::string>> writes_;
+    std::vector<std::string> reads_;
+  };
+
+  /// Encodes a write set as a self-describing payload string ("kvws1"
+  /// magic + one hex-armored write per line), safe to carry as an opaque
+  /// Data-entry payload through ledgers, traces, and JSON.
+  std::string encode_payload(const WriteSet& ws);
+
+  /// Strict decode; nullopt when `payload` is not a kv write-set payload
+  /// or is malformed.
+  std::optional<WriteSet> decode_payload(const std::string& payload);
+
+  /// Cheap check whether a payload carries an encoded write set.
+  bool is_kv_payload(const std::string& payload);
+}

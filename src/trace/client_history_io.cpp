@@ -1,0 +1,251 @@
+#include "trace/client_history_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace scv::trace
+{
+  using consensus::TxId;
+  using consensus::TxStatus;
+  using driver::ClientEvent;
+  using driver::ClientEventKind;
+
+  namespace
+  {
+    std::optional<ClientEventKind> kind_from_string(const std::string& s)
+    {
+      if (s == "rwReq")
+      {
+        return ClientEventKind::RwReq;
+      }
+      if (s == "rwRes")
+      {
+        return ClientEventKind::RwRes;
+      }
+      if (s == "roReq")
+      {
+        return ClientEventKind::RoReq;
+      }
+      if (s == "roRes")
+      {
+        return ClientEventKind::RoRes;
+      }
+      if (s == "status")
+      {
+        return ClientEventKind::Status;
+      }
+      return std::nullopt;
+    }
+
+    std::optional<TxStatus> status_from_string(const std::string& s)
+    {
+      if (s == "UNKNOWN")
+      {
+        return TxStatus::Unknown;
+      }
+      if (s == "PENDING")
+      {
+        return TxStatus::Pending;
+      }
+      if (s == "COMMITTED")
+      {
+        return TxStatus::Committed;
+      }
+      if (s == "INVALID")
+      {
+        return TxStatus::Invalid;
+      }
+      return std::nullopt;
+    }
+
+    /// Parses "term.index" (TxId::to_string format).
+    std::optional<TxId> txid_from_string(const std::string& s)
+    {
+      const auto parts = split(s, '.');
+      if (parts.size() != 2 || parts[0].empty() || parts[1].empty())
+      {
+        return std::nullopt;
+      }
+      TxId txid;
+      try
+      {
+        txid.term = std::stoull(parts[0]);
+        txid.index = std::stoull(parts[1]);
+      }
+      catch (...)
+      {
+        return std::nullopt;
+      }
+      return txid;
+    }
+
+    std::string event_to_json(const ClientEvent& e)
+    {
+      json::Object obj;
+      obj.emplace_back("kind", driver::to_string(e.kind));
+      obj.emplace_back("seq", e.client_seq);
+      obj.emplace_back("txid", e.txid.to_string());
+      json::Array observed;
+      observed.reserve(e.observed.size());
+      for (const TxId& t : e.observed)
+      {
+        observed.emplace_back(t.to_string());
+      }
+      obj.emplace_back("observed", std::move(observed));
+      if (e.kind == ClientEventKind::Status)
+      {
+        obj.emplace_back("status", consensus::to_string(e.status));
+      }
+      return json::Value(std::move(obj)).dump();
+    }
+
+    std::optional<ClientEvent> event_from_json(const std::string& line)
+    {
+      const auto value = json::parse(line);
+      if (!value || !value->is_object())
+      {
+        return std::nullopt;
+      }
+      const auto* kind = value->find("kind");
+      const auto* seq = value->find("seq");
+      const auto* txid = value->find("txid");
+      const auto* observed = value->find("observed");
+      if (
+        kind == nullptr || !kind->is_string() || seq == nullptr ||
+        !seq->is_int() || seq->as_int() < 0 || txid == nullptr ||
+        !txid->is_string() || observed == nullptr || !observed->is_array())
+      {
+        return std::nullopt;
+      }
+      ClientEvent e;
+      const auto parsed_kind = kind_from_string(kind->as_string());
+      const auto parsed_txid = txid_from_string(txid->as_string());
+      if (!parsed_kind || !parsed_txid)
+      {
+        return std::nullopt;
+      }
+      e.kind = *parsed_kind;
+      e.client_seq = static_cast<uint64_t>(seq->as_int());
+      e.txid = *parsed_txid;
+      for (const auto& t : observed->as_array())
+      {
+        if (!t.is_string())
+        {
+          return std::nullopt;
+        }
+        const auto parsed = txid_from_string(t.as_string());
+        if (!parsed)
+        {
+          return std::nullopt;
+        }
+        e.observed.push_back(*parsed);
+      }
+      if (e.kind == ClientEventKind::Status)
+      {
+        const auto* status = value->find("status");
+        if (status == nullptr || !status->is_string())
+        {
+          return std::nullopt;
+        }
+        const auto parsed = status_from_string(status->as_string());
+        if (!parsed)
+        {
+          return std::nullopt;
+        }
+        e.status = *parsed;
+      }
+      return e;
+    }
+  }
+
+  std::string client_history_to_jsonl(const std::vector<ClientEvent>& events)
+  {
+    std::string out;
+    for (const auto& e : events)
+    {
+      out += event_to_json(e);
+      out.push_back('\n');
+    }
+    return out;
+  }
+
+  std::optional<std::vector<ClientEvent>> client_history_from_jsonl(
+    const std::string& text, size_t* error_line)
+  {
+    std::vector<ClientEvent> out;
+    size_t line_no = 0;
+    for (const std::string& line : split(text, '\n'))
+    {
+      ++line_no;
+      const std::string trimmed = trim(line);
+      if (trimmed.empty())
+      {
+        continue;
+      }
+      auto event = event_from_json(trimmed);
+      if (!event)
+      {
+        if (error_line != nullptr)
+        {
+          *error_line = line_no;
+        }
+        return std::nullopt;
+      }
+      out.push_back(std::move(*event));
+    }
+    return out;
+  }
+
+  bool write_client_history(
+    const std::string& path, const std::vector<ClientEvent>& events)
+  {
+    std::ofstream f(path);
+    if (!f)
+    {
+      return false;
+    }
+    f << client_history_to_jsonl(events);
+    return static_cast<bool>(f);
+  }
+
+  std::optional<std::vector<ClientEvent>> read_client_history(
+    const std::string& path)
+  {
+    std::ifstream f(path);
+    if (!f)
+    {
+      return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    return client_history_from_jsonl(buffer.str());
+  }
+
+  std::vector<ClientEvent> history_prefix_within(
+    const std::vector<ClientEvent>& events, size_t max_txs)
+  {
+    std::vector<ClientEvent> out;
+    for (const auto& e : events)
+    {
+      const bool within =
+        e.txid.index <= max_txs && e.observed.size() <= max_txs;
+      const bool is_response = e.kind == ClientEventKind::RwRes ||
+        e.kind == ClientEventKind::RoRes;
+      if (is_response && !within)
+      {
+        // First transaction past the bound: its request (already copied)
+        // leaves the prefix with it, and everything later is cut.
+        std::erase_if(out, [&](const ClientEvent& prev) {
+          return prev.client_seq == e.client_seq;
+        });
+        break;
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+}

@@ -1,0 +1,45 @@
+// Serialization of client histories to the consistency-trace corpus.
+//
+// Load runs produce Session histories (the five client-observable message
+// kinds of §5); persisting them as JSONL — one event per line, mirroring
+// trace_io for implementation traces — turns every load run into corpus
+// material that replays offline through the consistency trace validator
+// (§6.5).
+//
+// The consistency spec's transaction identity is an 8-bit-packed
+// TxId, so spec instances cap the modeled application transactions (see
+// consistency_validation_params). history_prefix_within() cuts a history
+// to the largest self-contained prefix under such a bound, letting
+// arbitrarily long load histories validate as bounded prefixes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/session.h"
+
+namespace scv::trace
+{
+  /// One client event per line, in order.
+  std::string client_history_to_jsonl(
+    const std::vector<driver::ClientEvent>& events);
+
+  /// Strict parse; nullopt on malformed input (sets *error_line, 1-based,
+  /// when given). Blank lines are skipped.
+  std::optional<std::vector<driver::ClientEvent>> client_history_from_jsonl(
+    const std::string& text, size_t* error_line = nullptr);
+
+  bool write_client_history(
+    const std::string& path, const std::vector<driver::ClientEvent>& events);
+
+  std::optional<std::vector<driver::ClientEvent>> read_client_history(
+    const std::string& path);
+
+  /// The largest history prefix whose transactions all have ids (and
+  /// observation sets) within `max_txs` application transactions: events
+  /// referencing positions beyond the bound end the prefix. Status events
+  /// for transactions inside the prefix are kept; later requests are cut.
+  std::vector<driver::ClientEvent> history_prefix_within(
+    const std::vector<driver::ClientEvent>& events, size_t max_txs);
+}

@@ -20,7 +20,7 @@
 
 #include <vector>
 
-#include "driver/client.h"
+#include "driver/session.h"
 #include "spec/trace_validator.h"
 #include "specs/consistency/spec.h"
 

@@ -4,7 +4,7 @@
 // validation.
 #include <gtest/gtest.h>
 
-#include "driver/client.h"
+#include "driver/session.h"
 #include "driver/cluster.h"
 
 using namespace scv;
@@ -33,10 +33,10 @@ namespace
   }
 }
 
-TEST(Client, RwRespondsBeforeReplication)
+TEST(Session, RwRespondsBeforeReplication)
 {
   Cluster c(three_nodes(201));
-  Client client(c);
+  Session client(c);
   const auto seq = client.submit_rw("v1");
   ASSERT_TRUE(seq.has_value());
   // Response recorded immediately; nothing replicated yet.
@@ -49,10 +49,10 @@ TEST(Client, RwRespondsBeforeReplication)
   EXPECT_EQ(client.poll(*seq), TxStatus::Pending);
 }
 
-TEST(Client, SequentialTxsObservePredecessors)
+TEST(Session, SequentialTxsObservePredecessors)
 {
   Cluster c(three_nodes(203));
-  Client client(c);
+  Session client(c);
   const auto s1 = client.submit_rw("a");
   const auto s2 = client.submit_rw("b");
   const auto s3 = client.submit_rw("c");
@@ -63,10 +63,10 @@ TEST(Client, SequentialTxsObservePredecessors)
   EXPECT_EQ(res3.observed, (std::vector<TxId>{{1, 1}, {1, 2}}));
 }
 
-TEST(Client, CommitLifecycleRecordsStatus)
+TEST(Session, CommitLifecycleRecordsStatus)
 {
   Cluster c(three_nodes(205));
-  Client client(c);
+  Session client(c);
   const auto seq = client.submit_rw("x");
   ASSERT_TRUE(seq.has_value());
   c.sign();
@@ -82,10 +82,10 @@ TEST(Client, CommitLifecycleRecordsStatus)
   EXPECT_EQ(client.history().size(), len);
 }
 
-TEST(Client, RoObservesCommittedAndPending)
+TEST(Session, RoObservesCommittedAndPending)
 {
   Cluster c(three_nodes(207));
-  Client client(c);
+  Session client(c);
   client.submit_rw("committed-one");
   c.sign();
   settle(c);
@@ -99,22 +99,22 @@ TEST(Client, RoObservesCommittedAndPending)
   EXPECT_EQ(res.txid.index, 2u);
 }
 
-TEST(Client, RoRefusedByNonLeader)
+TEST(Session, RoRefusedByNonLeader)
 {
   Cluster c(three_nodes(209));
-  Client client(c);
+  Session client(c);
   const auto seq = client.submit_ro(NodeId(2)); // a follower
   ASSERT_TRUE(seq.has_value());
   // The request is in the history but no response follows.
   EXPECT_EQ(client.history().back().kind, ClientEventKind::RoReq);
 }
 
-TEST(Client, DoomedTxBecomesInvalidAfterFailover)
+TEST(Session, DoomedTxBecomesInvalidAfterFailover)
 {
   ClusterOptions o = three_nodes(211);
   o.node_template.check_quorum_interval = 0;
   Cluster c(o);
-  Client client(c);
+  Session client(c);
 
   c.partition({1}, {2, 3});
   const auto doomed = client.submit_rw("doomed");
@@ -139,10 +139,10 @@ TEST(Client, DoomedTxBecomesInvalidAfterFailover)
   EXPECT_EQ(status.status, TxStatus::Invalid);
 }
 
-TEST(Client, TimestampOrderingAcrossCommits)
+TEST(Session, TimestampOrderingAcrossCommits)
 {
   Cluster c(three_nodes(213));
-  Client client(c);
+  Session client(c);
   const auto s1 = client.submit_rw("a");
   const auto s2 = client.submit_rw("b");
   c.sign();
@@ -153,11 +153,11 @@ TEST(Client, TimestampOrderingAcrossCommits)
   EXPECT_LT(*client.txid_of(*s1), *client.txid_of(*s2));
 }
 
-TEST(Client, Property2PrefixCommitted)
+TEST(Session, Property2PrefixCommitted)
 {
   // If <t.i> is committed then any <t.j>, j <= i, is committed (§2).
   Cluster c(three_nodes(215));
-  Client client(c);
+  Session client(c);
   std::vector<uint64_t> seqs;
   for (int i = 0; i < 4; ++i)
   {
@@ -174,7 +174,7 @@ TEST(Client, Property2PrefixCommitted)
   }
 }
 
-TEST(Client, StaleLeaderServesRoMissingCommittedRw)
+TEST(Session, StaleLeaderServesRoMissingCommittedRw)
 {
   // The paper's §7 non-linearizability scenario, end to end on the
   // implementation: a committed rw transaction is invisible to a ro
@@ -182,7 +182,7 @@ TEST(Client, StaleLeaderServesRoMissingCommittedRw)
   ClusterOptions o = three_nodes(217);
   o.node_template.check_quorum_interval = 0; // old leader lingers
   Cluster c(o);
-  Client client(c);
+  Session client(c);
 
   c.partition({1}, {2, 3});
   settle(c, 150); // nodes 2,3 elect a new leader

@@ -4,7 +4,7 @@
 // (other clients' traffic, elections).
 #include <gtest/gtest.h>
 
-#include "driver/client.h"
+#include "driver/session.h"
 #include "driver/cluster.h"
 #include "trace/consistency_binding.h"
 
@@ -48,7 +48,7 @@ namespace
 TEST(ConsistencyValidation, SingleClientHappyPath)
 {
   Cluster c(three_nodes(301));
-  Client client(c);
+  Session client(c);
   const auto s1 = client.submit_rw("a");
   const auto s2 = client.submit_rw("b");
   c.sign();
@@ -64,7 +64,7 @@ TEST(ConsistencyValidation, SingleClientHappyPath)
 TEST(ConsistencyValidation, ReadOnlyHistoryValidates)
 {
   Cluster c(three_nodes(303));
-  Client client(c);
+  Session client(c);
   client.submit_rw("a");
   c.sign();
   settle(c);
@@ -82,8 +82,8 @@ TEST(ConsistencyValidation, ReconstructsOtherClientsTransactions)
   // include A's transactions, which the binding must reconstruct from the
   // observed transaction ids (§6.5).
   Cluster c(three_nodes(305));
-  Client alice(c);
-  Client bob(c);
+  Session alice(c);
+  Session bob(c);
   alice.submit_rw("a1");
   alice.submit_rw("a2");
   const auto b1 = bob.submit_rw("b1");
@@ -105,7 +105,7 @@ TEST(ConsistencyValidation, FailoverHistoryValidates)
   ClusterOptions o = three_nodes(307);
   o.node_template.check_quorum_interval = 0;
   Cluster c(o);
-  Client client(c);
+  Session client(c);
 
   c.partition({1}, {2, 3});
   const auto doomed = client.submit_rw("doomed");
@@ -131,7 +131,7 @@ TEST(ConsistencyValidation, StaleLeaderRoHistoryValidates)
   ClusterOptions o = three_nodes(309);
   o.node_template.check_quorum_interval = 0;
   Cluster c(o);
-  Client client(c);
+  Session client(c);
 
   c.partition({1}, {2, 3});
   settle(c, 150);
@@ -161,10 +161,10 @@ TEST_P(MultiClientChaos, EveryClientsHistoryValidates)
   const uint64_t seed = GetParam();
   ClusterOptions o = three_nodes(seed);
   Cluster c(o);
-  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::unique_ptr<Session>> clients;
   for (int k = 0; k < 3; ++k)
   {
-    clients.push_back(std::make_unique<Client>(c));
+    clients.push_back(std::make_unique<Session>(c));
   }
   Rng rng(seed * 7919);
   std::vector<std::pair<size_t, uint64_t>> submitted; // (client, seq)
@@ -237,7 +237,7 @@ TEST(ConsistencyValidation, ParallelDfsMatchesSequentialOnHistory)
   ClusterOptions o = three_nodes(307);
   o.node_template.check_quorum_interval = 0;
   Cluster c(o);
-  Client client(c);
+  Session client(c);
 
   c.partition({1}, {2, 3});
   const auto doomed = client.submit_rw("doomed");
@@ -268,7 +268,7 @@ TEST(ConsistencyValidation, ParallelDfsMatchesSequentialOnHistory)
 TEST(ConsistencyValidation, ParallelDfsRejectsCorruptedHistory)
 {
   Cluster c(three_nodes(311));
-  Client client(c);
+  Session client(c);
   client.submit_rw("a");
   const auto s2 = client.submit_rw("b");
   c.sign();
@@ -302,7 +302,7 @@ TEST(ConsistencyValidation, ParallelDfsRejectsCorruptedHistory)
 TEST(ConsistencyValidation, CorruptedObservationRejected)
 {
   Cluster c(three_nodes(311));
-  Client client(c);
+  Session client(c);
   client.submit_rw("a");
   const auto s2 = client.submit_rw("b");
   c.sign();
@@ -329,7 +329,7 @@ TEST(ConsistencyValidation, CorruptedObservationRejected)
 TEST(ConsistencyValidation, ContradictoryStatusRejected)
 {
   Cluster c(three_nodes(313));
-  Client client(c);
+  Session client(c);
   const auto s1 = client.submit_rw("a");
   c.sign();
   settle(c);

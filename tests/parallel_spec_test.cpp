@@ -5,8 +5,6 @@
 #include <gtest/gtest.h>
 
 #include "spec/model_checker.h"
-#include "spec/parallel_model_checker.h"
-#include "spec/parallel_simulator.h"
 #include "spec/simulator.h"
 #include "specs/consensus/spec.h"
 
@@ -553,55 +551,3 @@ TEST(ModelCheckDispatch, ThreadsFieldRoutesBothEngines)
   EXPECT_EQ(par.stats.distinct_states, 51u);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated aliases: ParallelModelChecker / ParallelSimulator remain
-// usable for one deprecation cycle and produce the unified engines'
-// results exactly.
-// ---------------------------------------------------------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedAliases, ParallelModelCheckerAliasMatchesModelChecker)
-{
-  const auto spec = die_hard_spec();
-  CheckLimits limits;
-  limits.threads = 1;
-  const auto via_alias = ParallelModelChecker<Jugs>(spec, limits).run();
-  const auto via_checker = ModelChecker<Jugs>(spec, limits).check();
-  ASSERT_FALSE(via_alias.ok);
-  ASSERT_FALSE(via_checker.ok);
-  EXPECT_EQ(
-    via_alias.stats.distinct_states, via_checker.stats.distinct_states);
-  ASSERT_TRUE(via_alias.counterexample.has_value());
-  ASSERT_TRUE(via_checker.counterexample.has_value());
-  ASSERT_EQ(
-    via_alias.counterexample->steps.size(),
-    via_checker.counterexample->steps.size());
-  for (size_t i = 0; i < via_alias.counterexample->steps.size(); ++i)
-  {
-    EXPECT_EQ(
-      via_alias.counterexample->steps[i].state,
-      via_checker.counterexample->steps[i].state);
-  }
-}
-
-TEST(DeprecatedAliases, ParallelSimulatorAliasMatchesSimulator)
-{
-  const auto spec = die_hard_no_invariants();
-  SimOptions options;
-  options.seed = 42;
-  options.max_behaviors = 30;
-  options.max_depth = 10;
-  options.time_budget_seconds = 30.0;
-  options.threads = 2;
-  const auto via_alias = ParallelSimulator<Jugs>(spec, options).run();
-  const auto via_simulator = Simulator<Jugs>(spec, options).run();
-  EXPECT_EQ(via_alias.ok, via_simulator.ok);
-  EXPECT_EQ(via_alias.behaviors, via_simulator.behaviors);
-  EXPECT_EQ(via_alias.stats.transitions, via_simulator.stats.transitions);
-  EXPECT_EQ(
-    via_alias.distinct_fingerprints, via_simulator.distinct_fingerprints);
-}
-
-#pragma GCC diagnostic pop

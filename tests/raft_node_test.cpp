@@ -532,6 +532,48 @@ TEST(RaftStatus, UnknownBeyondLog)
   EXPECT_EQ(n.status(TxId{1, 0}), TxStatus::Unknown);
 }
 
+TEST(RaftStatus, InvalidBeyondLogWhenViewHasPassed)
+{
+  RaftNode n(cfg(2), {1, 2, 3}, 1);
+  // A term-3 leader truncates nothing here, but its higher term proves
+  // any unreplicated term-1 tx beyond the log can never commit with that
+  // id: the slot will be filled (if ever) at term >= 3.
+  n.receive(3, AppendEntriesRequest{3, 3, 2, 1, 2, {data_entry(3, "y")}});
+  (void)n.take_outbox();
+  ASSERT_EQ(n.current_term(), 3u);
+  EXPECT_EQ(n.status(TxId{1, 99}), TxStatus::Invalid);
+  // Same-term (or future-term) queries beyond the log stay Unknown —
+  // the transaction may still arrive.
+  EXPECT_EQ(n.status(TxId{3, 99}), TxStatus::Unknown);
+  EXPECT_EQ(n.status(TxId{4, 99}), TxStatus::Unknown);
+}
+
+TEST(RaftStatus, TruncatedPendingTxReportsInvalidAfterForcedElection)
+{
+  // End-to-end across real elections: an isolated leader's unreplicated
+  // tx must end INVALID on the old leader itself once it rejoins a
+  // higher-term cluster whose log never reaches the tx's seqno.
+  RaftNode old_leader(cfg(1), {1, 2, 3}, 1);
+  const auto first = old_leader.client_request("first");
+  const auto doomed = old_leader.client_request("doomed");
+  ASSERT_TRUE(first && doomed);
+  (void)old_leader.take_outbox();
+  EXPECT_EQ(old_leader.status(*doomed), TxStatus::Pending);
+
+  // A term-2 leader conflicts at the first unreplicated slot: the old
+  // leader truncates its whole divergent suffix and appends the new
+  // entry, leaving the doomed tx's seqno beyond its log.
+  old_leader.receive(
+    2, AppendEntriesRequest{2, 2, 2, 1, 2, {data_entry(2, "z")}});
+  (void)old_leader.take_outbox();
+  ASSERT_EQ(old_leader.role(), Role::Follower);
+  ASSERT_EQ(old_leader.current_term(), 2u);
+  ASSERT_LT(old_leader.last_index(), doomed->index);
+  // Before the fix this reported Unknown forever (beyond the local log);
+  // a client polling its Pending tx would never learn it died.
+  EXPECT_EQ(old_leader.status(*doomed), TxStatus::Invalid);
+}
+
 TEST(RaftStatus, CommittedDifferentTermIsInvalid)
 {
   RaftNode n(cfg(2), {1, 2, 3}, 1);

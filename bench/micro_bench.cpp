@@ -10,8 +10,11 @@
 #include "crypto/sha256.h"
 #include "kv/store.h"
 #include "net/sim_network.h"
+#include "spec/expander.h"
 #include "spec/spec.h"
+#include "spec/symmetry.h"
 #include "specs/consensus/spec.h"
+#include "specs/consensus/symmetry.h"
 
 using namespace scv;
 
@@ -167,6 +170,86 @@ static void BM_SpecFingerprint(benchmark::State& state)
   }
 }
 BENCHMARK(BM_SpecFingerprint);
+
+static void BM_SpecFingerprintFreshSink(benchmark::State& state)
+{
+  // Baseline for BM_SpecFingerprint: what fingerprinting costs when the
+  // serialization buffer is constructed (and so reallocated) per call
+  // instead of reused thread-locally. The delta is the scratch-reuse win.
+  specs::ccfraft::Params p;
+  p.n_nodes = 3;
+  const auto s = specs::ccfraft::initial_state(p);
+  for (auto _ : state)
+  {
+    ByteSink sink;
+    s.serialize(sink);
+    benchmark::DoNotOptimize(sink.digest());
+  }
+}
+BENCHMARK(BM_SpecFingerprintFreshSink);
+
+static void BM_SpecCanonicalFingerprint(benchmark::State& state)
+{
+  // Symmetry-reduction overhead per generated state: canonicalize under
+  // the full node-permutation group, then hash the representative's
+  // bytes. The initial state has a distinguished leader, so two of three
+  // identities tie — this exercises both the signature sort and a small
+  // tie-block enumeration.
+  specs::ccfraft::Params p;
+  p.n_nodes = 3;
+  const auto sym = specs::ccfraft::node_symmetry(p);
+  const auto s = specs::ccfraft::initial_state(p);
+  for (auto _ : state)
+  {
+    benchmark::DoNotOptimize(spec::canonical_fingerprint(sym, s));
+  }
+}
+BENCHMARK(BM_SpecCanonicalFingerprint);
+
+static void BM_ExpanderFaultClosure(benchmark::State& state)
+{
+  // with_faults() runs once per trace line in DFS validation; its seen-set
+  // and layer vectors are thread_local so steady-state closures allocate
+  // nothing. Measures the closure over a 2-layer message-drop fault.
+  specs::ccfraft::Params p;
+  p.n_nodes = 3;
+  const auto spec = specs::ccfraft::build_spec(p);
+  spec::Expander<specs::ccfraft::State> expander(&spec);
+  expander.set_fault(
+    [](const specs::ccfraft::State& s,
+       const spec::Emit<specs::ccfraft::State>& emit) {
+      for (size_t i = 0; i < s.network.size(); ++i)
+      {
+        auto dropped = s;
+        dropped.network.erase(dropped.network.begin() + i);
+        emit(dropped);
+      }
+    },
+    2);
+  // Give the closure something to drop: step until traffic is in flight.
+  auto s = specs::ccfraft::initial_state(p);
+  for (const auto& action : spec.actions)
+  {
+    action.expand(s, [&](const specs::ccfraft::State& next) {
+      if (s.network.empty() && !next.network.empty())
+      {
+        s = next;
+      }
+    });
+    if (!s.network.empty())
+    {
+      break;
+    }
+  }
+  for (auto _ : state)
+  {
+    size_t emitted = 0;
+    expander.with_faults(
+      s, [&emitted](const specs::ccfraft::State&) { ++emitted; });
+    benchmark::DoNotOptimize(emitted);
+  }
+}
+BENCHMARK(BM_ExpanderFaultClosure);
 
 static void BM_SpecExpandAll(benchmark::State& state)
 {

@@ -19,6 +19,7 @@
 // verification explores orders of magnitude more states per minute than
 // functional and end-to-end testing.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "consensus/raft_node.h"
@@ -101,10 +102,29 @@ namespace
   }
 }
 
-int main()
+int main(int argc, char** argv)
 {
+  // --symmetry: dedup the model-checking and simulation tiers modulo node
+  // permutation (docs/SPEC.md "Symmetry reduction"). The coverage columns
+  // then count orbits, not concrete states — the same verification effort
+  // buys a larger effective state space.
+  bool symmetry = false;
+  for (int i = 1; i < argc; ++i)
+  {
+    if (std::strcmp(argv[i], "--symmetry") == 0)
+    {
+      symmetry = true;
+    }
+    else
+    {
+      std::fprintf(stderr, "usage: %s [--symmetry]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf(
-    "Table 1 (consensus): scale of specification and state coverage\n\n");
+    "Table 1 (consensus): scale of specification and state coverage%s\n\n",
+    symmetry ? " [symmetry reduction ON]" : "");
 
   std::vector<Row> rows;
 
@@ -138,6 +158,7 @@ int main()
       limits.time_budget_seconds = 15.0;
       limits.max_distinct_states = 20'000'000;
       limits.threads = threads;
+      limits.symmetry = symmetry;
       const auto result = spec::model_check(spec, limits);
       std::printf(
         "  threads=%-2u %s%s\n",
@@ -175,6 +196,7 @@ int main()
       options.max_depth = 80;
       options.time_budget_seconds = 10.0;
       options.threads = threads;
+      options.symmetry = symmetry;
       const auto result = spec::simulate(spec, options);
       std::printf(
         "  threads=%-2u %s behaviors=%llu%s\n",
@@ -396,6 +418,8 @@ int main()
     copts.total_seconds = 10.0;
     copts.sim.seed = 7;
     copts.sim.max_depth = 60;
+    copts.check.symmetry = symmetry;
+    copts.sim.symmetry = symmetry;
     spec::Campaign<specs::ccfraft::State> campaign(spec, copts);
 
     driver::ClusterOptions o;

@@ -69,6 +69,20 @@ echo "=== release campaign smoke, fingerprint-only store ==="
 echo "=== tsan campaign smoke, fingerprint-only store (threads=4) ==="
 ./build-tsan/examples/campaign_demo --seconds=10 --threads=4 --store=fp
 
+# Symmetry-reduction smoke: the ablation bench model-checks the consensus
+# spec exhaustively with canonical-under-node-permutation fingerprinting
+# ON vs OFF and exits non-zero unless the verdicts are identical AND the
+# quotient is strictly smaller AND parallel BFS under symmetry matches the
+# sequential quotient — an unsound canonicalizer (orbit splitting or
+# cross-orbit merging) fails CI here. --quick runs the symmetric-init pair
+# only, which keeps the Release smoke under ~10s. The TSan campaign smoke
+# runs all engines with --symmetry at threads=4 so the canonicalizer's
+# thread-local scratch and the shared fingerprint-dedup store race-check.
+echo "=== release symmetry-ablation smoke ==="
+./build-release/bench/symmetry_ablation --quick
+echo "=== tsan campaign smoke, symmetry reduction (threads=4) ==="
+./build-tsan/examples/campaign_demo --seconds=10 --threads=4 --symmetry
+
 # Deterministic nemesis smoke, fixed seed: the demo checks (1) same seed
 # => byte-identical fault schedules, traces, and verdicts, (2) every
 # clean fuzz-generated trace validates against the spec, and (3) with

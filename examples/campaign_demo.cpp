@@ -3,7 +3,7 @@
 // session over ONE shared state store and ONE wall-clock box.
 //
 //   ./campaign_demo [--seconds=S] [--threads=N] [--check-cap=STATES]
-//                   [--store=full|fp]
+//                   [--store=full|fp] [--symmetry]
 //
 // The campaign runs its three phases in exhaustive-first order:
 //   1. BFS model checking of a bounded consensus model. A complete check
@@ -40,6 +40,7 @@ int main(int argc, char** argv)
   double seconds = 10.0;
   unsigned threads = 1;
   uint64_t check_cap = 0;
+  bool symmetry = false;
   spec::StoreMode store_mode = spec::StoreMode::full;
   for (int i = 1; i < argc; ++i)
   {
@@ -63,12 +64,16 @@ int main(int argc, char** argv)
     {
       store_mode = spec::StoreMode::fingerprint_only;
     }
+    else if (std::strcmp(argv[i], "--symmetry") == 0)
+    {
+      symmetry = true;
+    }
     else
     {
       std::fprintf(
         stderr,
         "usage: %s [--seconds=S] [--threads=N] [--check-cap=STATES]\n"
-        "          [--store=full|fp]\n",
+        "          [--store=full|fp] [--symmetry]\n",
         argv[0]);
       return 2;
     }
@@ -127,6 +132,11 @@ int main(int argc, char** argv)
   copts.check.store.mode = store_mode;
   copts.sim.store.mode = store_mode;
   copts.validate.store.mode = store_mode;
+  // --symmetry dedups the checker and simulator modulo node permutation
+  // (docs/SPEC.md "Symmetry reduction"); the validator always keys its
+  // coverage by concrete states, so its contribution is unchanged.
+  copts.check.symmetry = symmetry;
+  copts.sim.symmetry = symmetry;
   if (check_cap > 0)
   {
     copts.check.max_distinct_states = check_cap;

@@ -44,6 +44,8 @@ namespace scv::spec
          {"distinct_states", p.stats.distinct_states},
          {"generated_states", p.stats.generated_states},
          {"seeded_states", p.stats.seeded_states},
+         {"canonicalized_states", p.stats.canonicalized_states},
+         {"symmetry_hits", p.stats.symmetry_hits},
          {"complete", p.stats.complete}}));
     }
     return json::object(

@@ -211,7 +211,7 @@ namespace scv::spec
     explicit Campaign(const SpecDef<S>& spec, Options options = {}) :
       spec_(spec),
       options_(options),
-      store_(shards_for(options), options.store),
+      store_(shards_for(options), store_options_for(options)),
       box_(
         options.total_seconds,
         {options.check_weight,
@@ -417,6 +417,21 @@ namespace scv::spec
     }
 
   private:
+    /// The shared store must dedup by fingerprint alone when any spec
+    /// engine canonicalizes (orbit siblings share a canonical fingerprint
+    /// but differ under operator== — store_options.h). The validator's
+    /// coverage tap stays concrete-keyed; mixing concrete and canonical
+    /// keys in one store is fine because dedup is per-key.
+    static StoreOptions store_options_for(const Options& options)
+    {
+      StoreOptions opts = options.store;
+      if (options.check.symmetry || options.sim.symmetry)
+      {
+        opts.dedup_by_fingerprint = true;
+      }
+      return opts;
+    }
+
     static size_t shards_for(const Options& options)
     {
       const unsigned workers = std::max(

@@ -75,6 +75,12 @@ namespace scv::spec
     /// 1 = sequential reference engine (bit-identical), 0 = one worker
     /// per hardware thread, N > 1 = N workers.
     unsigned threads = 1;
+    /// Symmetry reduction (docs/SPEC.md "Symmetry reduction"): dedup
+    /// states modulo the spec's Symmetry group by fingerprinting each
+    /// state's canonical orbit representative. Inert when the spec
+    /// carries no Symmetry hook. The trace validator ignores the flag
+    /// for its search — trace lines name concrete identities.
+    bool symmetry = false;
     /// State-store knobs for the engine's private store (docs/SPEC.md
     /// "Store modes"): full vs fingerprint-only retention, the byte
     /// ceiling (crossing it ends the run like an exhausted budget), and

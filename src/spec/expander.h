@@ -14,12 +14,14 @@
 // max_faults_per_step >= 2.)
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "spec/sharded_state_store.h"
 #include "spec/spec.h"
+#include "spec/symmetry.h"
 
 namespace scv::spec
 {
@@ -40,9 +42,48 @@ namespace scv::spec
       return spec_ == nullptr || spec_->within_constraint(s);
     }
 
+    /// Symmetry reduction (docs/SPEC.md): when enabled, fingerprint_of()
+    /// keys states by their canonical orbit representative, so every
+    /// admit() dedups modulo the spec's symmetry group. Bodies stay
+    /// concrete — only the dedup key canonicalizes. No-op without a
+    /// bound spec carrying a Symmetry hook.
+    void enable_symmetry(bool on)
+    {
+      symmetry_on_ = on && spec_ != nullptr && spec_->has_symmetry();
+    }
+
+    [[nodiscard]] bool symmetry_enabled() const
+    {
+      return symmetry_on_;
+    }
+
+    /// Canonicalizer invocations (== fingerprints taken with symmetry on).
+    [[nodiscard]] uint64_t canonicalized_count() const
+    {
+      return counters_.canonicalized.load(std::memory_order_relaxed);
+    }
+
+    /// Canonicalizations that actually relabeled (non-identity orbit
+    /// representative) — the states symmetry folded onto a sibling.
+    [[nodiscard]] uint64_t symmetry_hit_count() const
+    {
+      return counters_.hits.load(std::memory_order_relaxed);
+    }
+
     [[nodiscard]] uint64_t fingerprint_of(const S& s) const
     {
-      return fingerprint(s);
+      if (!symmetry_on_)
+      {
+        return fingerprint(s);
+      }
+      bool changed = false;
+      const uint64_t fp = canonical_fingerprint(spec_->symmetry, s, &changed);
+      counters_.canonicalized.fetch_add(1, std::memory_order_relaxed);
+      if (changed)
+      {
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return fp;
     }
 
     /// Tags every subsequent admission with the discovering engine — set
@@ -103,6 +144,19 @@ namespace scv::spec
     /// Emits `state` and every *distinct* state reachable from it by up to
     /// max_layers applications of the fault expander (deduplicated by
     /// fingerprint across the whole closure, including `state` itself).
+    ///
+    /// The base state is emitted unconditionally — callers gate it
+    /// themselves before asking for the closure (the trace validator's
+    /// searches must consider the un-faulted state even where an engine
+    /// would prune it). Fault-generated states, by contrast, honor the
+    /// bound spec's state constraint: a closure step that leaves the
+    /// constraint is neither emitted nor expanded further, exactly as the
+    /// engines never expand out-of-constraint states. An unbound Expander
+    /// (trace validation) has no constraint, so nothing is gated there.
+    ///
+    /// Not reentrant: the emit callback must not call with_faults() on
+    /// the same thread (the per-thread scratch below is reused across
+    /// calls; no caller nests closures).
     void with_faults(const S& state, const Emit<S>& emit) const
     {
       emit(state);
@@ -110,14 +164,26 @@ namespace scv::spec
       {
         return;
       }
-      std::unordered_set<uint64_t> seen = {fingerprint_of(state)};
-      std::vector<S> layer = {state};
+      // Per-thread scratch: the closure runs per trace line in DFS
+      // validation, so the set and layer vectors must not reallocate
+      // from scratch on every call.
+      thread_local std::unordered_set<uint64_t> seen;
+      thread_local std::vector<S> layer;
+      thread_local std::vector<S> next_layer;
+      seen.clear();
+      layer.clear();
+      seen.insert(fingerprint_of(state));
+      layer.push_back(state);
       for (size_t k = 0; k < max_fault_layers_; ++k)
       {
-        std::vector<S> next_layer;
+        next_layer.clear();
         for (const S& s : layer)
         {
           fault_(s, [&](const S& f) {
+            if (!within_constraint(f))
+            {
+              return;
+            }
             if (seen.insert(fingerprint_of(f)).second)
             {
               next_layer.push_back(f);
@@ -129,14 +195,43 @@ namespace scv::spec
         {
           break;
         }
-        layer = std::move(next_layer);
+        layer.swap(next_layer);
       }
+      layer.clear();
+      next_layer.clear();
     }
 
   private:
+    /// Copyable relaxed counters: engines copy Expanders only while
+    /// quiescent (e.g. simulator fan-out construction), so a plain load
+    /// snapshot is exact.
+    struct Counters
+    {
+      std::atomic<uint64_t> canonicalized{0};
+      std::atomic<uint64_t> hits{0};
+
+      Counters() = default;
+      Counters(const Counters& other) :
+        canonicalized(other.canonicalized.load(std::memory_order_relaxed)),
+        hits(other.hits.load(std::memory_order_relaxed))
+      {}
+      Counters& operator=(const Counters& other)
+      {
+        canonicalized.store(
+          other.canonicalized.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+        hits.store(
+          other.hits.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+        return *this;
+      }
+    };
+
     const SpecDef<S>* spec_ = nullptr;
     std::function<void(const S&, const Emit<S>&)> fault_;
     size_t max_fault_layers_ = 0;
     uint8_t origin_ = 0;
+    bool symmetry_on_ = false;
+    mutable Counters counters_;
   };
 }

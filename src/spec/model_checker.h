@@ -155,7 +155,9 @@ namespace scv::spec
       spec_(spec),
       limits_(limits),
       expander_(&spec_)
-    {}
+    {
+      expander_.enable_symmetry(limits_.symmetry);
+    }
 
     /// Campaign mode: run over `store` (shared with other engines, never
     /// cleared) instead of a private store. Existing records seed the BFS
@@ -205,6 +207,20 @@ namespace scv::spec
       return external_ != nullptr ? *external_ : *owned_;
     }
 
+    /// Store options for the private store. With symmetry on, orbit
+    /// siblings share a canonical fingerprint but differ under
+    /// operator==, so full mode must dedup by fingerprint alone or the
+    /// collision fallback re-admits every sibling (store_options.h).
+    [[nodiscard]] StoreOptions store_options() const
+    {
+      StoreOptions opts = limits_.store;
+      if (expander_.symmetry_enabled())
+      {
+        opts.dedup_by_fingerprint = true;
+      }
+      return opts;
+    }
+
     // ---- threads == 1, private store: the sequential reference engine --
 
     /// The store's byte ceiling, treated like an exhausted work budget.
@@ -216,7 +232,7 @@ namespace scv::spec
 
     CheckResult<S> check_sequential()
     {
-      owned_ = std::make_unique<Store>(1, limits_.store);
+      owned_ = std::make_unique<Store>(1, store_options());
       Budget budget(limits_.budget_caps());
       CheckResult<S> result;
 
@@ -404,7 +420,7 @@ namespace scv::spec
         // to the same stripe; a single worker keeps the sequential layout.
         owned_ = std::make_unique<Store>(
           pool.size() == 1 ? 1 : 4 * static_cast<size_t>(pool.size()),
-          limits_.store);
+          store_options());
       }
       Budget budget(limits_.budget_caps());
       CheckResult<S> result;
@@ -670,6 +686,8 @@ namespace scv::spec
       result.stats.spilled_bytes = store().spilled_bytes();
       result.stats.rehash_count = store().rehash_count();
       result.stats.seconds = budget.elapsed();
+      result.stats.canonicalized_states = expander_.canonicalized_count();
+      result.stats.symmetry_hits = expander_.symmetry_hit_count();
       if (budget.caps().time_budget_seconds < 1e17)
       {
         result.stats.budget_seconds = budget.caps().time_budget_seconds;

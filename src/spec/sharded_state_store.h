@@ -278,7 +278,7 @@ namespace scv::spec
       const size_t shard_idx = shard_for_fingerprint(fp);
       Shard& shard = shards_[shard_idx];
       std::lock_guard<std::mutex> lock(shard.mu);
-      if (fingerprint_only())
+      if (options_.fingerprint_dedup())
       {
         const uint32_t hit = shard.index.first(fp);
         if (hit != FlatFpTable::empty_slot)

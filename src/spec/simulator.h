@@ -116,7 +116,9 @@ namespace scv::spec
       options_(options),
       rng_(options.seed),
       expander_(&spec_)
-    {}
+    {
+      expander_.enable_symmetry(options_.symmetry);
+    }
 
     /// Optional per-state observer for domain-specific coverage metrics.
     /// On the fan-out path calls are serialized on an internal mutex, so
@@ -263,8 +265,9 @@ namespace scv::spec
           if (mode == WeightingMode::QLearning)
           {
             // Reward novelty; bootstrap from the best known value of the
-            // successor bucket.
-            const uint64_t next_fp = fingerprint(next);
+            // successor bucket. Keyed like note_state() so the distinct
+            // lookup matches (canonical when symmetry is on).
+            const uint64_t next_fp = expander_.fingerprint_of(next);
             const double reward =
               options_.track_distinct && distinct.contains(next_fp) ? 0.0 :
                                                                       1.0;
@@ -517,7 +520,9 @@ namespace scv::spec
       (void)result;
       if (options_.track_distinct)
       {
-        distinct.insert(fingerprint(state));
+        // Canonical when symmetry is on, so distinct counts (and the
+        // cross-worker union) measure coverage modulo the orbit.
+        distinct.insert(expander_.fingerprint_of(state));
       }
       if (observer_)
       {
@@ -547,6 +552,8 @@ namespace scv::spec
       }
       result.stats.distinct_states =
         store_ != nullptr ? fresh : distinct.size();
+      result.stats.canonicalized_states = expander_.canonicalized_count();
+      result.stats.symmetry_hits = expander_.symmetry_hit_count();
       if (store_ != nullptr)
       {
         result.stats.store_bytes = store_->store_bytes();

@@ -33,10 +33,54 @@ namespace scv::spec
   template <SpecState S>
   uint64_t fingerprint(const S& state)
   {
-    ByteSink sink;
+    // Reused per thread: clear() keeps the vector's capacity, so
+    // steady-state fingerprinting allocates nothing. serialize() must not
+    // fingerprint other states re-entrantly (none do — they only append
+    // bytes).
+    thread_local ByteSink sink;
+    sink.clear();
     state.serialize(sink);
     return sink.digest();
   }
+
+  /// A permutation of identity indices 0..k-1: perm[i] is the new index
+  /// of identity i.
+  using Perm = std::vector<uint8_t>;
+
+  /// Symmetry hook (TLC symmetry sets): a permutation group over the
+  /// spec's interchangeable identities (node ids, transaction ids) under
+  /// which the transition relation, the invariants, the action properties
+  /// and the state constraint are all equivariant. Initial states need
+  /// NOT be symmetric. When a SpecDef carries one and an engine enables
+  /// EngineOptions::symmetry, the Expander fingerprints the canonical
+  /// orbit representative (symmetry.h), so orbit-equivalent states dedup
+  /// to one — up to |G| (= k! for the full group) fewer distinct states.
+  template <SpecState S>
+  struct Symmetry
+  {
+    /// Number of permutable identities in this state (may vary per state,
+    /// e.g. "transaction ids assigned so far").
+    std::function<size_t(const S&)> domain;
+    /// Applies a permutation: every occurrence of identity i in the state
+    /// is relabeled to perm[i], and any identity-indexed containers are
+    /// re-normalized (sorted multisets re-sorted, arrays re-permuted).
+    std::function<S(const S&, const Perm&)> apply;
+    /// Optional label-invariant per-identity signature enabling the
+    /// sorted fast path: sig(apply(s, p), p[i]) == sig(s, i) must hold
+    /// for every permutation in the group. A weak signature only costs
+    /// speed (ties fall back to enumeration), never correctness.
+    std::function<uint64_t(const S&, size_t)> signature;
+    /// Explicit group elements (each of size >= any state's domain;
+    /// identities beyond a state's domain must be fixed points). Empty
+    /// means the full symmetric group on the state's domain, which is
+    /// what enables the sorted-by-signature fast path.
+    std::vector<Perm> group;
+
+    [[nodiscard]] bool enabled() const
+    {
+      return static_cast<bool>(apply);
+    }
+  };
 
   /// Callback receiving each successor produced by an action.
   template <class S>
@@ -81,10 +125,18 @@ namespace scv::spec
     /// State constraint (§4): successors of states violating it are not
     /// explored. Used to bound the unbounded spec for exhaustive checking.
     std::function<bool(const S&)> constraint;
+    /// Optional symmetry group (docs/SPEC.md "Symmetry reduction").
+    /// Inert unless an engine turns on EngineOptions::symmetry.
+    Symmetry<S> symmetry;
 
     [[nodiscard]] bool within_constraint(const S& s) const
     {
       return !constraint || constraint(s);
+    }
+
+    [[nodiscard]] bool has_symmetry() const
+    {
+      return symmetry.enabled();
     }
   };
 

@@ -31,6 +31,12 @@ namespace scv::spec
       // Campaign-only field; standalone summaries are unchanged.
       os << " seeded=" << seeded_states;
     }
+    if (canonicalized_states > 0)
+    {
+      // Symmetry-only fields; symmetry-off summaries are unchanged.
+      os << " canonicalized=" << canonicalized_states
+         << " symmetry_hits=" << symmetry_hits;
+    }
     if (store_bytes > 0)
     {
       os << " store_bytes=" << store_bytes;
@@ -54,6 +60,8 @@ namespace scv::spec
     memo_hits += other.memo_hits;
     steals += other.steals;
     seeded_states += other.seeded_states;
+    canonicalized_states += other.canonicalized_states;
+    symmetry_hits += other.symmetry_hits;
     max_depth = std::max(max_depth, other.max_depth);
     // Store metrics are snapshots of a (possibly shared) store, not
     // per-run counters: merging takes the largest snapshot.

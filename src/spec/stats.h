@@ -33,6 +33,13 @@ namespace scv::spec
     /// starts drawn from a checker frontier by the simulator. Zero for
     /// standalone runs.
     uint64_t seeded_states = 0;
+    /// Symmetry reduction (EngineOptions::symmetry): states run through
+    /// the canonicalizer before fingerprinting, and how many of those
+    /// actually relabeled (a non-identity orbit representative — i.e.
+    /// states the reduction could fold onto a sibling). Zero when
+    /// symmetry is off or the spec carries no group.
+    uint64_t canonicalized_states = 0;
+    uint64_t symmetry_hits = 0;
     uint64_t max_depth = 0;
     /// State-store footprint at the end of the run: resident bytes
     /// (index + hot arena + bodies), bytes spilled to disk, and index

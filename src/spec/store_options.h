@@ -40,10 +40,23 @@ namespace scv::spec
     /// Directory for per-shard spill files (created lazily, unlinked
     /// immediately, mmap'd back read-only). Empty = spill disabled.
     std::string spill_dir;
+    /// Dedup by fingerprint alone even in full mode (bodies are still
+    /// retained, so counterexamples read the chain directly). Engines set
+    /// this when symmetry reduction is on: orbit-equivalent states share
+    /// a canonical fingerprint but differ under operator==, so full
+    /// mode's collision fallback would re-admit every orbit sibling and
+    /// the reduction would silently vanish. Accepts the same ~n^2/2^65
+    /// collision-conflation trade fingerprint_only mode documents.
+    bool dedup_by_fingerprint = false;
 
     [[nodiscard]] bool fingerprint_only() const
     {
       return mode == StoreMode::fingerprint_only;
+    }
+
+    [[nodiscard]] bool fingerprint_dedup() const
+    {
+      return fingerprint_only() || dedup_by_fingerprint;
     }
 
     [[nodiscard]] bool spill_enabled() const

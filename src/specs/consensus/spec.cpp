@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "specs/consensus/symmetry.h"
+
 namespace scv::specs::ccfraft
 {
   State initial_state(const Params& params)
@@ -992,6 +994,10 @@ namespace scv::specs::ccfraft
       }
       return true;
     };
+
+    // Node-permutation symmetry (inert unless an engine opts in via
+    // EngineOptions::symmetry).
+    def.symmetry = node_symmetry(params);
 
     return def;
   }

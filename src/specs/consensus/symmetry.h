@@ -1,0 +1,47 @@
+// Node-permutation symmetry for the consensus spec (docs/SPEC.md
+// "Symmetry reduction").
+//
+// The consensus actions, invariants and state constraint never mention a
+// node id literally — every action quantifies over all nodes/messages and
+// every property is closed under relabeling — so any permutation of node
+// ids that preserves the model's *named* node sets (the permitted
+// reconfiguration targets) is an automorphism of the transition relation.
+// node_symmetry() packages that group as a spec::Symmetry<State>: the
+// exploration engines then dedup states modulo node relabeling.
+//
+// The initial states are NOT symmetric (initial_leader names a node);
+// that is fine — symmetry reduction only needs the *relation* to be
+// equivariant, not the initial set (docs/SPEC.md gives the argument).
+#pragma once
+
+#include "spec/spec.h"
+#include "specs/consensus/spec.h"
+#include "specs/consensus/spec_types.h"
+
+namespace scv::specs::ccfraft
+{
+  /// Maps a node-set bitmask through a permutation (domain index i is
+  /// node i+1): bit i set => bit perm[i] set in the image.
+  [[nodiscard]] Bits permute_bits(Bits set, const spec::Perm& perm);
+
+  /// Maps a node id (0 = none stays 0).
+  [[nodiscard]] Nid permute_nid(Nid n, const spec::Perm& perm);
+
+  /// The relabeled state: node i+1's variables move to position perm[i],
+  /// with every embedded node reference (voted_for, votes_granted,
+  /// sent/match indices, Reconfig configs, Retire payloads, message
+  /// endpoints) rewritten and the network multiset re-sorted.
+  [[nodiscard]] State permute_state(const State& s, const spec::Perm& perm);
+
+  /// Label-invariant-features hash of node i+1, covariant under
+  /// relabeling: sig(permute_state(s, p), p[i]) == sig(s, i). Used by the
+  /// canonicalizer's sorted-signature fast path; collisions only enlarge
+  /// tie blocks (cost, not correctness).
+  [[nodiscard]] uint64_t node_signature(const State& s, size_t i);
+
+  /// The symmetry group for a model: all node permutations when
+  /// params.allowed_reconfigs is empty (full symmetric group, encoded as
+  /// an empty group vector), otherwise the subgroup stabilizing the set
+  /// of permitted reconfiguration targets (enumerated explicitly).
+  [[nodiscard]] spec::Symmetry<State> node_symmetry(const Params& params);
+}

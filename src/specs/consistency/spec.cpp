@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "specs/consistency/symmetry.h"
+
 namespace scv::specs::consistency
 {
   std::string State::to_string() const
@@ -579,6 +581,10 @@ namespace scv::specs::consistency
     {
       def.invariants.push_back({"ObservedRoInv", observed_ro_inv});
     }
+
+    // Tx-relabeling symmetry (inert unless an engine opts in via
+    // EngineOptions::symmetry).
+    def.symmetry = tx_symmetry();
 
     return def;
   }

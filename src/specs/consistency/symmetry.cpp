@@ -1,0 +1,113 @@
+#include "specs/consistency/symmetry.h"
+
+#include "util/hash.h"
+
+namespace scv::specs::consistency
+{
+  namespace
+  {
+    TxId8 permute_tx(TxId8 t, const spec::Perm& perm)
+    {
+      if (t == 0 || t > perm.size())
+      {
+        return t;
+      }
+      return static_cast<TxId8>(perm[t - 1] + 1);
+    }
+
+    TxSet permute_set(TxSet set, const spec::Perm& perm)
+    {
+      TxSet out = 0;
+      for (size_t i = 0; i < perm.size(); ++i)
+      {
+        if ((set & (1u << i)) != 0)
+        {
+          out = static_cast<TxSet>(out | (1u << perm[i]));
+        }
+      }
+      const TxSet domain_mask =
+        static_cast<TxSet>((1u << perm.size()) - 1u);
+      return static_cast<TxSet>(out | (set & ~domain_mask));
+    }
+  }
+
+  State permute_state(const State& s, const spec::Perm& perm)
+  {
+    State out = s;
+    for (Event& e : out.history)
+    {
+      e.tx = permute_tx(e.tx, perm);
+      e.observed = permute_set(e.observed, perm);
+    }
+    for (auto& branch : out.branches)
+    {
+      for (TxId8& t : branch)
+      {
+        t = permute_tx(t, perm);
+      }
+    }
+    for (TxId8& t : out.committed)
+    {
+      t = permute_tx(t, perm);
+    }
+    return out;
+  }
+
+  uint64_t tx_signature(const State& s, size_t i)
+  {
+    const TxId8 self = static_cast<TxId8>(i + 1);
+    uint64_t h = fnv1a_init;
+    const auto mix = [&h](uint64_t v) { h = hash_combine(h, v); };
+
+    for (size_t p = 0; p < s.history.size(); ++p)
+    {
+      const Event& e = s.history[p];
+      if (e.tx == self)
+      {
+        mix(p + 1);
+        mix(static_cast<uint64_t>(e.type));
+        mix(e.term);
+        mix(e.index);
+        mix(static_cast<uint64_t>(e.status));
+        mix(static_cast<uint64_t>(__builtin_popcount(e.observed)));
+        mix(has_tx(e.observed, self) ? 1u : 0u);
+      }
+      // Membership in *other* events' observed sets, by position.
+      if (e.tx != self && has_tx(e.observed, self))
+      {
+        mix(0x100000u + p);
+      }
+    }
+    for (size_t b = 0; b < s.branches.size(); ++b)
+    {
+      for (size_t p = 0; p < s.branches[b].size(); ++p)
+      {
+        if (s.branches[b][p] == self)
+        {
+          mix(0x200000u + (b << 8) + p);
+        }
+      }
+    }
+    for (size_t p = 0; p < s.committed.size(); ++p)
+    {
+      if (s.committed[p] == self)
+      {
+        mix(0x300000u + p);
+      }
+    }
+    return h;
+  }
+
+  spec::Symmetry<State> tx_symmetry()
+  {
+    spec::Symmetry<State> sym;
+    sym.domain = [](const State& s) {
+      return static_cast<size_t>(s.next_tx - 1);
+    };
+    sym.apply = [](const State& s, const spec::Perm& perm) {
+      return permute_state(s, perm);
+    };
+    sym.signature = [](const State& s, size_t i) { return tx_signature(s, i); };
+    return sym;
+  }
+}

@@ -1,0 +1,31 @@
+// Transaction-relabeling symmetry for the consistency spec (docs/SPEC.md
+// "Symmetry reduction").
+//
+// Transaction identifiers in this spec are opaque: every action allocates
+// the next id and every invariant constrains only event structure (types,
+// terms, indices, observed-set membership) — never the numeric value of an
+// id. Any bijection of the already-assigned ids {1 .. next_tx-1} is
+// therefore an automorphism of the transition relation, and the engines
+// can dedup histories that differ only in which request got which id
+// (e.g. "rw then ro" vs "ro then rw" request interleavings that execute
+// identically).
+#pragma once
+
+#include "spec/spec.h"
+#include "specs/consistency/spec.h"
+
+namespace scv::specs::consistency
+{
+  /// The relabeled state: tx id t becomes perm[t-1]+1 everywhere (event
+  /// tx fields, observed sets, branches, committed prefix); history
+  /// order, branch structure and next_tx are unchanged.
+  [[nodiscard]] State permute_state(const State& s, const spec::Perm& perm);
+
+  /// Covariant signature of tx i+1: a hash over its occurrences by
+  /// history/branch/committed *position* — positions are preserved by
+  /// relabeling, so sig(permute_state(s, p), p[i]) == sig(s, i).
+  [[nodiscard]] uint64_t tx_signature(const State& s, size_t i);
+
+  /// Full symmetric group over the assigned tx ids.
+  [[nodiscard]] spec::Symmetry<State> tx_symmetry();
+}

@@ -99,6 +99,24 @@ echo "=== tsan nemesis smoke (seed 2026) ==="
 ./build-tsan/examples/nemesis_demo --seed=2026 --clean-runs=4 \
   --seconds=120 --scen-out=build-tsan/nemesis_min.scen
 
+# Snapshot / catch-up / disaster-recovery smokes. Release runs the two
+# shipped snapshot scenario families through scenario_runner, which both
+# executes them (join-from-snapshot under an active partition;
+# compact-then-crash-then-recover) and validates the collected traces
+# against the consensus spec. The TSan nemesis pass re-fuzzes the same
+# fixed seed with the snapshot motifs in the generator pool and the
+# trace validator's work-stealing DFS at threads=4, so a race between
+# the parallel search and the InstallSnapshot/CompactLedger bindings
+# fails CI.
+echo "=== release snapshot scenario smoke (join + recovery families) ==="
+./build-release/examples/scenario_runner \
+  examples/scenarios/snapshot_join.scen \
+  examples/scenarios/compaction_recovery.scen
+echo "=== tsan nemesis snapshot smoke (seed 2027, validate-threads=4) ==="
+./build-tsan/examples/nemesis_demo --seed=2027 --clean-runs=4 \
+  --seconds=120 --validate-threads=4 \
+  --scen-out=build-tsan/nemesis_snapshot_min.scen
+
 # SmallBank serving-layer smoke, fixed seed and short box: the open-loop
 # load harness drives client sessions (batching, TxStatus commit acks,
 # speculative leader reads) over the replicated KV and exits non-zero if
@@ -129,10 +147,10 @@ cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Release -DSCV_WERROR=ON \
 echo "=== build build-ubsan (driver tests) ==="
 cmake --build build-ubsan -j "${JOBS}" --target \
   raft_node_test scenario_dsl_test scenario_test e2e_test bugs_test \
-  nemesis_test client_test
+  nemesis_test session_api_test snapshot_test
 echo "=== test build-ubsan (driver tests) ==="
 for t in raft_node_test scenario_dsl_test scenario_test e2e_test \
-  bugs_test nemesis_test client_test; do
+  bugs_test nemesis_test session_api_test snapshot_test; do
   echo "--- ${t} (ubsan) ---"
   "./build-ubsan/tests/${t}"
 done

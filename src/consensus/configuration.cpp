@@ -11,10 +11,19 @@ namespace scv::consensus
     return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
   }
 
-  void Configurations::rebuild(const Ledger& ledger)
+  void Configurations::rebuild(
+    const Ledger& ledger, const std::vector<Configuration>& seed)
   {
     configs_.clear();
-    for (Index i = 1; i <= ledger.last_index(); ++i)
+    for (const Configuration& c : seed)
+    {
+      SCV_CHECK_MSG(
+        c.idx <= ledger.start_index(),
+        "seed configurations must lie at or below the compaction point");
+      SCV_CHECK(configs_.empty() || configs_.back().idx < c.idx);
+      configs_.push_back(c);
+    }
+    for (Index i = ledger.start_index() + 1; i <= ledger.last_index(); ++i)
     {
       const Entry& e = ledger.at(i);
       if (e.type == EntryType::Reconfiguration)

@@ -33,8 +33,11 @@ namespace scv::consensus
   {
   public:
     /// Rebuilds the configuration list by scanning a ledger. Called after
-    /// bootstrap and after any truncation.
-    void rebuild(const Ledger& ledger);
+    /// bootstrap and after any truncation. When the ledger is compacted,
+    /// `seed` supplies the configurations at or below the hole (taken from
+    /// the covering snapshot) — their entry bodies no longer exist to scan.
+    void rebuild(
+      const Ledger& ledger, const std::vector<Configuration>& seed = {});
 
     /// Incremental update when an entry is appended at `idx`.
     void on_append(Index idx, const Entry& entry);

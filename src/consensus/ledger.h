@@ -6,6 +6,14 @@
 // provenance. Truncation (follower rollback of a conflicting suffix) keeps
 // the tree in sync.
 //
+// Compaction (snapshots): compact(up_to) drops the entry *bodies* at and
+// below a snapshot point, leaving a hole — at(i) fails below start_index().
+// What survives per compacted index is the 9-byte (term, type) metadata and
+// the Merkle leaf digest, so term_at / TxStatus, signature placement scans,
+// express catch-up, receipts above the hole, and append-only fingerprints
+// all remain exact. Entry *content* below the hole (payloads, configs,
+// signatures) is recoverable only from the covering Snapshot artifact.
+//
 // Indices are 1-based; index 0 means "nothing".
 #pragma once
 
@@ -18,22 +26,46 @@
 
 namespace scv::consensus
 {
+  /// What a compacted index retains: enough for term/type queries, nothing
+  /// that can be read back as an entry.
+  struct EntryMeta
+  {
+    Term term = 0;
+    EntryType type = EntryType::Data;
+
+    bool operator==(const EntryMeta&) const = default;
+  };
+
   class Ledger
   {
   public:
     [[nodiscard]] Index last_index() const
     {
-      return entries_.size();
+      return start_index_ + entries_.size();
     }
 
     [[nodiscard]] bool empty() const
     {
-      return entries_.empty();
+      return last_index() == 0;
     }
 
-    /// Term of the entry at idx; 0 when idx is 0 or out of range.
+    /// Index of the snapshot covering the compacted prefix; 0 when the
+    /// ledger has never been compacted. Entries at or below this index
+    /// have no bodies ("the hole").
+    [[nodiscard]] Index start_index() const
+    {
+      return start_index_;
+    }
+
+    /// Term of the entry at idx; 0 when idx is 0 or out of range. Exact
+    /// below the hole (metadata survives compaction).
     [[nodiscard]] Term term_at(Index idx) const;
 
+    /// Type of the entry at idx; exact below the hole.
+    [[nodiscard]] EntryType type_at(Index idx) const;
+
+    /// The entry body at idx. No reads below a hole: idx must be above
+    /// start_index().
     [[nodiscard]] const Entry& at(Index idx) const;
 
     [[nodiscard]] Term last_term() const
@@ -44,17 +76,49 @@ namespace scv::consensus
     /// Appends and returns the new entry's index.
     Index append(Entry entry);
 
-    /// Drops all entries after new_last.
+    /// Drops all entries after new_last. new_last must not be below the
+    /// compaction point (committed state is never truncated).
     void truncate(Index new_last);
 
-    /// Merkle root over all entries currently in the log.
+    /// Drops entry bodies at and below up_to (which must be a signature
+    /// index at or below the caller's commit point — enforced by type, not
+    /// by commit, which the ledger does not know). Metadata and Merkle
+    /// leaves survive. Idempotent for up_to <= start_index().
+    void compact(Index up_to);
+
+    /// Rebuilds a ledger from a snapshot's retained prefix state: per-index
+    /// metadata and Merkle leaves for (0, index]. The result has
+    /// start_index() == index and no entry bodies.
+    static Ledger from_snapshot(
+      Index index,
+      const std::vector<EntryMeta>& meta,
+      const std::vector<crypto::Digest>& leaves);
+
+    /// Merkle root over all entries ever appended (leaves survive
+    /// compaction).
     [[nodiscard]] crypto::Digest root() const
     {
       return tree_.root();
     }
 
     /// Inclusion proof for the entry at idx against the current root.
+    /// Valid below the hole too — proofs need only leaves.
     [[nodiscard]] crypto::Path proof(Index idx) const;
+
+    /// Merkle leaf (entry digest) at idx; valid below the hole.
+    [[nodiscard]] const crypto::Digest& leaf_digest(Index idx) const;
+
+    [[nodiscard]] const std::vector<crypto::Digest>& leaves() const
+    {
+      return tree_.leaves();
+    }
+
+    /// Per-index (term, type) metadata for the compacted prefix
+    /// (0, start_index()].
+    [[nodiscard]] const std::vector<EntryMeta>& compacted_meta() const
+    {
+      return meta_;
+    }
 
     /// Index of the last Signature entry at or before idx (0 if none).
     [[nodiscard]] Index last_signature_at_or_before(Index idx) const;
@@ -69,16 +133,21 @@ namespace scv::consensus
     /// stepping back one index at a time.
     [[nodiscard]] Index agreement_estimate(Index bound, Term max_term) const;
 
-    /// Copies entries in (from, to] for an AppendEntries payload.
+    /// Copies entries in (from, to] for an AppendEntries payload. `from`
+    /// must be at or above the compaction point.
     [[nodiscard]] std::vector<Entry> window(Index from, Index to) const;
 
+    /// Entry bodies above the hole, i.e. indices (start_index(),
+    /// last_index()].
     [[nodiscard]] const std::vector<Entry>& entries() const
     {
       return entries_;
     }
 
   private:
-    std::vector<Entry> entries_;
-    crypto::MerkleTree tree_;
+    std::vector<Entry> entries_; // bodies for (start_index_, last_index()]
+    std::vector<EntryMeta> meta_; // metadata for (0, start_index_]
+    Index start_index_ = 0;
+    crypto::MerkleTree tree_; // leaves for (0, last_index()]
   };
 }

@@ -15,6 +15,7 @@ namespace scv::consensus
       RequestVoteRequest = 3,
       RequestVoteResponse = 4,
       ProposeRequestVote = 5,
+      InstallSnapshotRequest = 6,
     };
 
     class Writer
@@ -241,12 +242,19 @@ namespace scv::consensus
           w.u64(m.from);
           w.boolean(m.granted);
         }
-        else
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
         {
-          static_assert(std::is_same_v<T, ProposeRequestVote>);
           w.u8(static_cast<uint8_t>(Tag::ProposeRequestVote));
           w.u64(m.term);
           w.u64(m.from);
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, InstallSnapshotRequest>);
+          w.u8(static_cast<uint8_t>(Tag::InstallSnapshotRequest));
+          w.u64(m.term);
+          w.u64(m.leader);
+          w.bytes(m.snapshot.serialize());
         }
       },
       msg);
@@ -334,6 +342,24 @@ namespace scv::consensus
         }
         return Message(m);
       }
+      case Tag::InstallSnapshotRequest:
+      {
+        InstallSnapshotRequest m;
+        std::vector<uint8_t> snap_bytes;
+        if (
+          !r.u64(m.term) || !r.u64(m.leader) || !r.bytes(snap_bytes) ||
+          !r.done())
+        {
+          return std::nullopt;
+        }
+        auto snap = Snapshot::deserialize(snap_bytes);
+        if (!snap)
+        {
+          return std::nullopt;
+        }
+        m.snapshot = std::move(*snap);
+        return Message(std::move(m));
+      }
     }
     return std::nullopt;
   }
@@ -359,9 +385,13 @@ namespace scv::consensus
         {
           return "RequestVoteResponse";
         }
-        else
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
         {
           return "ProposeRequestVote";
+        }
+        else
+        {
+          return "InstallSnapshotRequest";
         }
       },
       msg);
@@ -400,10 +430,19 @@ namespace scv::consensus
           o.emplace_back("from", json::Value(m.from));
           o.emplace_back("granted", json::Value(m.granted));
         }
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
+        {
+          o.emplace_back("from", json::Value(m.from));
+        }
         else
         {
-          static_assert(std::is_same_v<T, ProposeRequestVote>);
-          o.emplace_back("from", json::Value(m.from));
+          static_assert(std::is_same_v<T, InstallSnapshotRequest>);
+          o.emplace_back("leader", json::Value(m.leader));
+          o.emplace_back("snap_idx", json::Value(m.snapshot.index));
+          o.emplace_back("snap_term", json::Value(m.snapshot.term));
+          o.emplace_back(
+            "snap_digest",
+            json::Value(crypto::digest_to_hex(m.snapshot.digest())));
         }
       },
       msg);

@@ -15,6 +15,7 @@
 #include <variant>
 #include <vector>
 
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "util/json.h"
 
@@ -75,12 +76,26 @@ namespace scv::consensus
     bool operator==(const ProposeRequestVote&) const = default;
   };
 
+  /// Offered by a leader when a follower's next index falls below the
+  /// leader's compaction point: the AE window no longer exists, so the
+  /// whole covering snapshot ships instead. Acknowledged with an ordinary
+  /// AppendEntriesResponse whose LAST_IDX is the snapshot index.
+  struct InstallSnapshotRequest
+  {
+    Term term = 0;
+    NodeId leader = 0;
+    Snapshot snapshot;
+
+    bool operator==(const InstallSnapshotRequest&) const = default;
+  };
+
   using Message = std::variant<
     AppendEntriesRequest,
     AppendEntriesResponse,
     RequestVoteRequest,
     RequestVoteResponse,
-    ProposeRequestVote>;
+    ProposeRequestVote,
+    InstallSnapshotRequest>;
 
   /// Canonical byte serialization; deserialize returns nullopt on any
   /// malformed input (never throws, never reads out of bounds).

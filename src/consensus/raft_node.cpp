@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/sha256.h"
 #include "crypto/signer.h"
 #include "util/check.h"
 
@@ -73,18 +74,34 @@ namespace scv::consensus
     current_term_ = persisted.current_term;
     voted_for_ = persisted.voted_for;
     commit_index_ = persisted.commit_index;
+    latest_snapshot_ = std::move(persisted.snapshot);
+    SCV_CHECK_MSG(
+      ledger_.start_index() == 0 ||
+        (latest_snapshot_.has_value() &&
+         latest_snapshot_->index == ledger_.start_index()),
+      "a compacted ledger needs its covering snapshot to recover");
 
-    // Everything else is derived by replaying the ledger.
-    configurations_.rebuild(ledger_);
+    // Everything else is derived by replaying the ledger; state below a
+    // compaction hole comes from the covering snapshot instead of from
+    // entry bodies.
+    configurations_.rebuild(
+      ledger_,
+      latest_snapshot_ ? latest_snapshot_->configs :
+                         std::vector<Configuration>{});
     for (const Index i : ledger_.signature_indices_after(commit_index_))
     {
       committable_indices_.insert(i);
     }
-    for (Index i = 1; i <= ledger_.last_index(); ++i)
+    for (Index i = ledger_.start_index() + 1; i <= ledger_.last_index(); ++i)
     {
       note_membership_on_append(i, ledger_.at(i));
     }
-    for (Index i = 1; i <= commit_index_; ++i)
+    if (latest_snapshot_)
+    {
+      retired_nodes_.insert(
+        latest_snapshot_->retired.begin(), latest_snapshot_->retired.end());
+    }
+    for (Index i = ledger_.start_index() + 1; i <= commit_index_; ++i)
     {
       const Entry& entry = ledger_.at(i);
       if (entry.type == EntryType::Retirement)
@@ -113,14 +130,54 @@ namespace scv::consensus
   PersistedState RaftNode::persisted_state() const
   {
     PersistedState out;
-    for (const Entry& entry : ledger_.entries())
-    {
-      out.ledger.append(entry);
-    }
+    out.ledger = ledger_;
     out.current_term = current_term_;
     out.voted_for = voted_for_;
     out.commit_index = commit_index_;
+    out.snapshot = latest_snapshot_;
     return out;
+  }
+
+  // --- snapshots ----------------------------------------------------------
+
+  Snapshot RaftNode::make_snapshot() const
+  {
+    SCV_CHECK_MSG(commit_index_ > 0, "nothing committed to snapshot");
+    const Index idx = commit_index_;
+    // The commit index always rests on a signature transaction (§2.1), so
+    // the covering point is verifiable offline.
+    SCV_CHECK(ledger_.type_at(idx) == EntryType::Signature);
+
+    Snapshot snap;
+    snap.index = idx;
+    snap.term = ledger_.term_at(idx);
+    snap.meta.reserve(idx);
+    for (Index i = 1; i <= idx; ++i)
+    {
+      snap.meta.push_back({ledger_.term_at(i), ledger_.type_at(i)});
+    }
+    const auto& leaves = ledger_.leaves();
+    snap.leaves.assign(leaves.begin(), leaves.begin() + idx);
+    snap.configs = {configurations_.current(idx)};
+    snap.retired.assign(retired_nodes_.begin(), retired_nodes_.end());
+    // kv_image / kv_digest are the host's to fill: the node does not own
+    // the state machine.
+    return snap;
+  }
+
+  void RaftNode::compact(const Snapshot& snap)
+  {
+    SCV_CHECK_MSG(
+      snap.index <= commit_index_, "cannot compact past the commit index");
+    if (snap.index <= ledger_.start_index())
+    {
+      return;
+    }
+    latest_snapshot_ = snap;
+    ledger_.compact(snap.index);
+    trace::TraceEvent e = base_event(trace::EventKind::CompactLedger);
+    e.last_idx = snap.index;
+    emit(e);
   }
 
   void RaftNode::announce_recovery(Role pre_crash_role)
@@ -192,10 +249,16 @@ namespace scv::consensus
           e.kind = trace::EventKind::SendRequestVoteResponse;
           e.success = m.granted;
         }
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
+        {
+          e.kind = trace::EventKind::SendProposeVote;
+        }
         else
         {
-          static_assert(std::is_same_v<T, ProposeRequestVote>);
-          e.kind = trace::EventKind::SendProposeVote;
+          static_assert(std::is_same_v<T, InstallSnapshotRequest>);
+          e.kind = trace::EventKind::SendInstallSnapshot;
+          e.last_idx = m.snapshot.index;
+          e.prev_term = m.snapshot.term;
         }
       },
       msg);
@@ -488,10 +551,16 @@ namespace scv::consensus
           e.kind = trace::EventKind::RecvRequestVoteResponse;
           e.success = m.granted;
         }
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
+        {
+          e.kind = trace::EventKind::RecvProposeVote;
+        }
         else
         {
-          static_assert(std::is_same_v<T, ProposeRequestVote>);
-          e.kind = trace::EventKind::RecvProposeVote;
+          static_assert(std::is_same_v<T, InstallSnapshotRequest>);
+          e.kind = trace::EventKind::RecvInstallSnapshot;
+          e.last_idx = m.snapshot.index;
+          e.prev_term = m.snapshot.term;
         }
       },
       msg);
@@ -516,9 +585,14 @@ namespace scv::consensus
         {
           handle_request_vote_response(from, m);
         }
-        else
+        else if constexpr (std::is_same_v<T, ProposeRequestVote>)
         {
           handle_propose_vote(from, m);
+        }
+        else
+        {
+          static_assert(std::is_same_v<T, InstallSnapshotRequest>);
+          handle_install_snapshot(from, m);
         }
       },
       msg);
@@ -644,6 +718,24 @@ namespace scv::consensus
   void RaftNode::send_append_entries(NodeId to)
   {
     const Index start = std::min(sent_index_[to], ledger_.last_index());
+
+    if (start < ledger_.start_index())
+    {
+      // The follower's next entry lies below the compaction point: the AE
+      // window no longer exists, so offer the covering snapshot instead.
+      // The sent index advances optimistically like an AE; a lost offer
+      // self-heals through the ordinary AE-NACK cycle.
+      SCV_CHECK(latest_snapshot_.has_value());
+      InstallSnapshotRequest m;
+      m.term = current_term_;
+      m.leader = config_.id;
+      m.snapshot = *latest_snapshot_;
+      sent_index_[to] = latest_snapshot_->index;
+      note_retirement_coverage(to, latest_snapshot_->index);
+      send(to, std::move(m));
+      return;
+    }
+
     const Index end =
       std::min(ledger_.last_index(), start + config_.max_entries_per_ae);
 
@@ -660,24 +752,36 @@ namespace scv::consensus
     // back if the follower NACKs.
     sent_index_[to] = end;
 
-    // If this AE tells a retired node that its retirement committed (the
-    // window starts at or past the retirement entry and the carried commit
-    // covers it), the node can now switch off; stop replicating to it.
-    if (retired_nodes_.contains(to) && !retirement_notified_.contains(to))
+    note_retirement_coverage(to, start);
+    send(to, std::move(m));
+  }
+
+  void RaftNode::note_retirement_coverage(NodeId to, Index window_start)
+  {
+    // If this message tells a retired node that its retirement committed
+    // (the window starts at or past the retirement entry and the carried
+    // commit covers it), the node can now switch off; stop replicating to
+    // it.
+    if (!retired_nodes_.contains(to) || retirement_notified_.contains(to))
     {
-      for (Index i = 1; i <= commit_index_; ++i)
+      return;
+    }
+    for (Index i = ledger_.start_index() + 1; i <= commit_index_; ++i)
+    {
+      const Entry& e = ledger_.at(i);
+      if (e.type == EntryType::Retirement && e.retiring_node == to)
       {
-        const Entry& e = ledger_.at(i);
-        if (
-          e.type == EntryType::Retirement && e.retiring_node == to &&
-          start >= i)
+        if (window_start >= i)
         {
           retirement_notified_.insert(to);
-          break;
         }
+        return;
       }
     }
-    send(to, std::move(m));
+    // No Retirement body for `to` in the suffix, yet its retirement
+    // committed: the entry is below the hole, and every window (or
+    // snapshot) starts at or past the compaction point.
+    retirement_notified_.insert(to);
   }
 
   void RaftNode::broadcast_append_entries()
@@ -848,6 +952,81 @@ namespace scv::consensus
     send_append_entries(from);
   }
 
+  void RaftNode::handle_install_snapshot(
+    NodeId from, const InstallSnapshotRequest& m)
+  {
+    if (m.term < current_term_)
+    {
+      // Stale leader: our higher term in the response makes it step down.
+      AppendEntriesResponse resp;
+      resp.term = current_term_;
+      resp.from = config_.id;
+      resp.success = false;
+      resp.last_idx = 0;
+      send(from, resp);
+      return;
+    }
+
+    update_term(m.term);
+    if (role_ == Role::Candidate)
+    {
+      become_follower(current_term_, "leader exists for this term");
+    }
+    if (role_ == Role::Leader)
+    {
+      // Same-term offer from another leader: election safety is already
+      // broken; drop rather than cascade.
+      return;
+    }
+    leader_hint_ = m.leader;
+    reset_election_deadline();
+
+    const Snapshot& snap = m.snapshot;
+    if (snap.index <= commit_index_)
+    {
+      // Everything the snapshot covers is already committed locally (and
+      // committed prefixes agree). ACK with our commit point so the leader
+      // resumes ordinary AE from there.
+      AppendEntriesResponse resp;
+      resp.term = current_term_;
+      resp.from = config_.id;
+      resp.success = true;
+      resp.last_idx = commit_index_;
+      send(from, resp);
+      return;
+    }
+
+    // Install: the snapshot supersedes the local log wholesale — any
+    // suffix beyond our commit point is uncommitted and will be
+    // re-replicated by ordinary AEs above the snapshot index.
+    SCV_CHECK_MSG(
+      crypto::sha256(snap.kv_image) == snap.kv_digest,
+      "snapshot KV image does not match its digest");
+    ledger_ = Ledger::from_snapshot(snap.index, snap.meta, snap.leaves);
+    commit_index_ = snap.index;
+    latest_snapshot_ = snap;
+    committable_indices_.clear();
+    retired_nodes_ =
+      std::set<NodeId>(snap.retired.begin(), snap.retired.end());
+    configurations_.rebuild(ledger_, snap.configs);
+    if (retired_nodes_.contains(config_.id))
+    {
+      membership_ = MembershipState::RetirementCompleted;
+      role_ = Role::Retired;
+    }
+    if (on_snapshot_installed_)
+    {
+      on_snapshot_installed_(snap);
+    }
+
+    AppendEntriesResponse resp;
+    resp.term = current_term_;
+    resp.from = config_.id;
+    resp.success = true;
+    resp.last_idx = snap.index;
+    send(from, resp);
+  }
+
   // --- votes ----------------------------------------------------------------
 
   void RaftNode::handle_request_vote(NodeId from, const RequestVoteRequest& m)
@@ -1015,14 +1194,17 @@ namespace scv::consensus
     for (const NodeId n : removed.nodes)
     {
       // Idempotence: skip when a retirement for n is already in the log.
-      bool exists = false;
-      for (Index i = 1; i <= ledger_.last_index(); ++i)
+      // A compacted retirement necessarily committed, so the retired set
+      // covers the region below the hole.
+      bool exists = retired_nodes_.contains(n);
+      for (Index i = ledger_.start_index() + 1;
+           !exists && i <= ledger_.last_index();
+           ++i)
       {
         const Entry& e = ledger_.at(i);
         if (e.type == EntryType::Retirement && e.retiring_node == n)
         {
           exists = true;
-          break;
         }
       }
       if (exists)
@@ -1113,7 +1295,10 @@ namespace scv::consensus
       commit_index_ = new_last;
     }
     ledger_.truncate(new_last);
-    configurations_.rebuild(ledger_);
+    configurations_.rebuild(
+      ledger_,
+      latest_snapshot_ ? latest_snapshot_->configs :
+                         std::vector<Configuration>{});
     committable_indices_.erase(
       committable_indices_.upper_bound(new_last), committable_indices_.end());
 

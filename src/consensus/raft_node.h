@@ -34,6 +34,7 @@
 #include "consensus/configuration.h"
 #include "consensus/ledger.h"
 #include "consensus/messages.h"
+#include "consensus/snapshot.h"
 #include "consensus/types.h"
 #include "trace/event.h"
 #include "util/rng.h"
@@ -83,6 +84,11 @@ namespace scv::consensus
     Term current_term = 0;
     std::optional<NodeId> voted_for;
     Index commit_index = 0;
+    /// Covering snapshot when the ledger has been compacted: recovery
+    /// needs it to reseed governance state (configurations, retirements)
+    /// whose entry bodies no longer exist. Its index always equals the
+    /// ledger's start_index().
+    std::optional<Snapshot> snapshot;
   };
 
   class RaftNode
@@ -92,6 +98,11 @@ namespace scv::consensus
     using CommitCallback = std::function<void(Index, const Entry&)>;
     /// Called when the local log rolls back to `new_last`.
     using RollbackCallback = std::function<void(Index new_last)>;
+    /// Called after an InstallSnapshot replaced the local log wholesale:
+    /// the host must replace its state machine with the snapshot's KV
+    /// image (the per-entry commit callback never fires for the covered
+    /// prefix).
+    using SnapshotInstalledCallback = std::function<void(const Snapshot&)>;
 
     /// Constructs a bootstrapped node. Every node of a fresh service starts
     /// with the same two committed entries: the initial configuration
@@ -131,6 +142,11 @@ namespace scv::consensus
       on_rollback_ = std::move(cb);
     }
 
+    void set_snapshot_installed_callback(SnapshotInstalledCallback cb)
+    {
+      on_snapshot_installed_ = std::move(cb);
+    }
+
     /// Global clock used to timestamp trace events (§6.1). Defaults to the
     /// node's local tick count when unset.
     void set_clock(std::function<uint64_t()> clock)
@@ -161,6 +177,26 @@ namespace scv::consensus
 
     /// Scenario-driver hook: force an immediate election timeout.
     void force_timeout();
+
+    // --- snapshots -------------------------------------------------------
+
+    /// Builds the consensus half of a snapshot covering the current commit
+    /// index (always a signature index): covering (index, term), per-index
+    /// metadata and Merkle leaves, configurations and retirements at the
+    /// point. The host fills kv_image / kv_digest from its store before
+    /// using the snapshot — the node does not own the state machine.
+    [[nodiscard]] Snapshot make_snapshot() const;
+
+    /// Adopts `snap` as the node's covering snapshot and drops entry
+    /// bodies at and below its index. snap.index must be committed here.
+    /// Idempotent when the ledger is already compacted at or past it.
+    void compact(const Snapshot& snap);
+
+    /// The snapshot this node's ledger is compacted to, if any.
+    [[nodiscard]] const std::optional<Snapshot>& latest_snapshot() const
+    {
+      return latest_snapshot_;
+    }
 
     /// Snapshot of the durable state a restart recovers from (see
     /// PersistedState for the durability model).
@@ -254,6 +290,7 @@ namespace scv::consensus
     void handle_request_vote_response(
       NodeId from, const RequestVoteResponse& m);
     void handle_propose_vote(NodeId from, const ProposeRequestVote& m);
+    void handle_install_snapshot(NodeId from, const InstallSnapshotRequest& m);
 
     // Leader machinery.
     void send_append_entries(NodeId to);
@@ -263,6 +300,7 @@ namespace scv::consensus
     Index append_entry(Entry entry);
     void append_retirements_for(const Configuration& committed_config);
     void send_propose_vote();
+    void note_retirement_coverage(NodeId to, Index window_start);
 
     // Log maintenance.
     void rollback(Index new_last, const char* reason);
@@ -290,6 +328,8 @@ namespace scv::consensus
 
     Ledger ledger_;
     Index commit_index_ = 0;
+    /// Set iff the ledger is compacted; index == ledger_.start_index().
+    std::optional<Snapshot> latest_snapshot_;
     Configurations configurations_;
     /// Signature indices above the commit index (commit candidates).
     std::set<Index> committable_indices_;
@@ -319,6 +359,7 @@ namespace scv::consensus
     trace::TraceSink trace_sink_;
     CommitCallback on_commit_;
     RollbackCallback on_rollback_;
+    SnapshotInstalledCallback on_snapshot_installed_;
     std::function<uint64_t()> clock_;
   };
 }

@@ -11,11 +11,12 @@ namespace scv::consensus
       return std::nullopt;
     }
     // First signature at or after the entry: its root covers everything
-    // before it, including the entry.
+    // before it, including the entry. type_at is exact below a compaction
+    // hole, so the search works anywhere in the log.
     Index sig_index = 0;
     for (Index i = index; i <= ledger.last_index(); ++i)
     {
-      if (ledger.at(i).type == EntryType::Signature && i > index)
+      if (ledger.type_at(i) == EntryType::Signature && i > index)
       {
         sig_index = i;
         break;
@@ -26,18 +27,22 @@ namespace scv::consensus
     {
       return std::nullopt;
     }
+    if (sig_index <= ledger.start_index())
+    {
+      // The covering signature's body was compacted away: its root and
+      // signature live only in the snapshot artifact, not here.
+      return std::nullopt;
+    }
 
     // Rebuild the tree over entries [1, sig_index) — the log "so far" at
-    // signing time.
-    crypto::MerkleTree tree;
-    for (Index i = 1; i < sig_index; ++i)
-    {
-      tree.append(entry_digest(ledger.at(i)));
-    }
+    // signing time. Leaves survive compaction, so receipts for entries
+    // below the hole still assemble as long as the signature does not.
+    crypto::MerkleTree tree(std::vector<crypto::Digest>(
+      ledger.leaves().begin(), ledger.leaves().begin() + (sig_index - 1)));
 
     Receipt r;
     r.index = index;
-    r.entry_digest = entry_digest(ledger.at(index));
+    r.entry_digest = ledger.leaf_digest(index);
     r.path = tree.path(index - 1);
     r.signature_index = sig_index;
     const Entry& sig = ledger.at(sig_index);
@@ -61,8 +66,14 @@ namespace scv::consensus
   AuditReport audit_ledger(const Ledger& ledger)
   {
     AuditReport report;
-    crypto::MerkleTree tree;
-    for (Index i = 1; i <= ledger.last_index(); ++i)
+    // Seed with the retained leaves of any compacted prefix: its bodies
+    // (and thus its signature transactions) can no longer be checked here
+    // — that is the snapshot artifact's job — but suffix signatures still
+    // verify against full-log roots.
+    const Index start = ledger.start_index();
+    crypto::MerkleTree tree(std::vector<crypto::Digest>(
+      ledger.leaves().begin(), ledger.leaves().begin() + start));
+    for (Index i = start + 1; i <= ledger.last_index(); ++i)
     {
       const Entry& entry = ledger.at(i);
       if (entry.type == EntryType::Signature)

@@ -1,0 +1,178 @@
+#include "consensus/snapshot.h"
+
+#include "util/check.h"
+
+namespace scv::consensus
+{
+  namespace
+  {
+    void put_u64(std::vector<uint8_t>& out, uint64_t v)
+    {
+      for (int shift = 56; shift >= 0; shift -= 8)
+      {
+        out.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+      }
+    }
+
+    bool take_u64(const std::vector<uint8_t>& in, size_t& pos, uint64_t& v)
+    {
+      if (pos + 8 > in.size())
+      {
+        return false;
+      }
+      v = 0;
+      for (int k = 0; k < 8; ++k)
+      {
+        v = (v << 8) | in[pos + k];
+      }
+      pos += 8;
+      return true;
+    }
+  }
+
+  std::vector<uint8_t> Snapshot::serialize() const
+  {
+    std::vector<uint8_t> out;
+    put_u64(out, index);
+    put_u64(out, term);
+    put_u64(out, kv_image.size());
+    out.insert(out.end(), kv_image.begin(), kv_image.end());
+    out.insert(out.end(), kv_digest.begin(), kv_digest.end());
+    put_u64(out, meta.size());
+    for (const EntryMeta& m : meta)
+    {
+      put_u64(out, m.term);
+      out.push_back(static_cast<uint8_t>(m.type));
+    }
+    put_u64(out, leaves.size());
+    for (const crypto::Digest& d : leaves)
+    {
+      out.insert(out.end(), d.begin(), d.end());
+    }
+    put_u64(out, configs.size());
+    for (const Configuration& c : configs)
+    {
+      put_u64(out, c.idx);
+      put_u64(out, c.nodes.size());
+      for (const NodeId n : c.nodes)
+      {
+        put_u64(out, n);
+      }
+    }
+    put_u64(out, retired.size());
+    for (const NodeId n : retired)
+    {
+      put_u64(out, n);
+    }
+    return out;
+  }
+
+  std::optional<Snapshot> Snapshot::deserialize(
+    const std::vector<uint8_t>& bytes)
+  {
+    Snapshot s;
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!take_u64(bytes, pos, s.index) || !take_u64(bytes, pos, s.term))
+    {
+      return std::nullopt;
+    }
+    if (!take_u64(bytes, pos, count) || pos + count > bytes.size())
+    {
+      return std::nullopt;
+    }
+    s.kv_image.assign(bytes.begin() + pos, bytes.begin() + pos + count);
+    pos += count;
+    if (pos + s.kv_digest.size() > bytes.size())
+    {
+      return std::nullopt;
+    }
+    std::copy_n(bytes.begin() + pos, s.kv_digest.size(), s.kv_digest.begin());
+    pos += s.kv_digest.size();
+    if (!take_u64(bytes, pos, count) || pos + count * 9 > bytes.size())
+    {
+      return std::nullopt;
+    }
+    s.meta.reserve(count);
+    for (uint64_t k = 0; k < count; ++k)
+    {
+      EntryMeta m;
+      if (!take_u64(bytes, pos, m.term))
+      {
+        return std::nullopt;
+      }
+      const uint8_t type = bytes[pos++];
+      if (type > static_cast<uint8_t>(EntryType::Retirement))
+      {
+        return std::nullopt;
+      }
+      m.type = static_cast<EntryType>(type);
+      s.meta.push_back(m);
+    }
+    if (!take_u64(bytes, pos, count))
+    {
+      return std::nullopt;
+    }
+    s.leaves.reserve(count);
+    for (uint64_t k = 0; k < count; ++k)
+    {
+      crypto::Digest d;
+      if (pos + d.size() > bytes.size())
+      {
+        return std::nullopt;
+      }
+      std::copy_n(bytes.begin() + pos, d.size(), d.begin());
+      pos += d.size();
+      s.leaves.push_back(d);
+    }
+    if (!take_u64(bytes, pos, count))
+    {
+      return std::nullopt;
+    }
+    s.configs.reserve(count);
+    for (uint64_t k = 0; k < count; ++k)
+    {
+      Configuration c;
+      uint64_t n_nodes = 0;
+      if (!take_u64(bytes, pos, c.idx) || !take_u64(bytes, pos, n_nodes))
+      {
+        return std::nullopt;
+      }
+      c.nodes.reserve(n_nodes);
+      for (uint64_t j = 0; j < n_nodes; ++j)
+      {
+        uint64_t n = 0;
+        if (!take_u64(bytes, pos, n))
+        {
+          return std::nullopt;
+        }
+        c.nodes.push_back(n);
+      }
+      s.configs.push_back(std::move(c));
+    }
+    if (!take_u64(bytes, pos, count))
+    {
+      return std::nullopt;
+    }
+    s.retired.reserve(count);
+    for (uint64_t k = 0; k < count; ++k)
+    {
+      uint64_t n = 0;
+      if (!take_u64(bytes, pos, n))
+      {
+        return std::nullopt;
+      }
+      s.retired.push_back(n);
+    }
+    if (pos != bytes.size())
+    {
+      return std::nullopt;
+    }
+    return s;
+  }
+
+  crypto::Digest Snapshot::digest() const
+  {
+    return crypto::sha256(serialize());
+  }
+}

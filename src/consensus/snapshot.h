@@ -1,0 +1,52 @@
+// Snapshot artifact: everything a node needs to start serving at a
+// compaction point without the entries below it (§2.1 "disaster
+// recovery"; the related CCF slices test this via kv_snapshot.cpp).
+//
+// A snapshot covers the log (0, index] where index is a committed
+// signature index. It carries:
+//   - the covering (index, term) pair,
+//   - the deterministic KV image at that index plus its digest (the
+//     spec models the snapshot by this *interaction* — index, term,
+//     digest — never the bytes, following the interaction-preserving
+//     abstraction of Gu et al., arXiv 2202.11385),
+//   - the per-index (term, type) metadata and Merkle leaves of the
+//     covered prefix, so TxStatus queries, receipts, and append-only
+//     fingerprints stay exact across the hole,
+//   - the governance state at the covering index: active configurations
+//     and committed retirements, which recovery can no longer rederive
+//     from entry bodies.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "consensus/configuration.h"
+#include "consensus/ledger.h"
+#include "consensus/types.h"
+#include "crypto/sha256.h"
+
+namespace scv::consensus
+{
+  struct Snapshot
+  {
+    Index index = 0; // covering signature index (<= commit at creation)
+    Term term = 0; // term of the entry at `index`
+    std::vector<uint8_t> kv_image; // kv::Store::serialize_image() bytes
+    crypto::Digest kv_digest{}; // sha256 over kv_image
+    std::vector<EntryMeta> meta; // (term, type) per index in (0, index]
+    std::vector<crypto::Digest> leaves; // Merkle leaves for (0, index]
+    std::vector<Configuration> configs; // configurations active at `index`
+    std::vector<NodeId> retired; // retirements committed at or below `index`
+
+    bool operator==(const Snapshot&) const = default;
+
+    /// Deterministic byte serialization (wire + persistence format).
+    [[nodiscard]] std::vector<uint8_t> serialize() const;
+
+    static std::optional<Snapshot> deserialize(
+      const std::vector<uint8_t>& bytes);
+
+    /// Digest over the full serialization: the snapshot's identity.
+    [[nodiscard]] crypto::Digest digest() const;
+  };
+}

@@ -29,8 +29,21 @@ namespace scv::crypto
   class MerkleTree
   {
   public:
+    MerkleTree() = default;
+
+    /// Rebuilds a tree from previously extracted leaves (snapshot install:
+    /// a joiner reconstructs the ledger tree without the entry bodies).
+    explicit MerkleTree(std::vector<Digest> leaves) : leaves_(std::move(leaves))
+    {}
+
     /// Appends a leaf digest; returns the (0-based) leaf index.
     size_t append(const Digest& leaf);
+
+    /// All leaf digests appended so far, in order.
+    [[nodiscard]] const std::vector<Digest>& leaves() const
+    {
+      return leaves_;
+    }
 
     /// Root over all leaves appended so far. Root of the empty tree is the
     /// hash of the empty string, matching an empty ledger.

@@ -76,6 +76,15 @@ namespace scv::driver
         options_.initial_leader);
       slot.store = std::make_unique<kv::Store>();
       wire_node(id, *slot.node, *slot.store);
+      // The bootstrap prefix commits inside the RaftNode constructor,
+      // before the commit callback exists; apply it here so store
+      // versions track ledger indices from version 1 (exactly what
+      // restart's replay produces — a snapshot image taken later must
+      // cover the full committed prefix).
+      for (Index i = 1; i <= slot.node->commit_index(); ++i)
+      {
+        apply_committed_entry(*slot.store, i, slot.node->ledger().at(i));
+      }
       nodes_.emplace(id, std::move(slot));
     }
   }
@@ -104,21 +113,69 @@ namespace scv::driver
       [&store](Index idx, const consensus::Entry& entry) {
         apply_committed_entry(store, idx, entry);
       });
+    n.set_snapshot_installed_callback(
+      [&store](const consensus::Snapshot& snap) {
+        // The per-entry commit callback never fires for the covered
+        // prefix: the whole state machine swaps to the snapshot's image.
+        store.install_image(snap.kv_image, snap.index);
+      });
     (void)id;
   }
 
-  void Cluster::add_node(NodeId id)
+  void Cluster::add_node(const JoinSpec& spec)
   {
+    const NodeId id = spec.id;
     SCV_CHECK_MSG(!nodes_.contains(id), "node already exists");
     NodeSlot slot;
-    // A joining node starts from the service's initial state (in CCF it
-    // would fetch a snapshot); it catches up through AppendEntries.
-    slot.node = std::make_unique<consensus::RaftNode>(
-      node_config_for(id, 0), options_.initial_config,
-      options_.initial_leader);
-    slot.store = std::make_unique<kv::Store>();
+    if (spec.snapshot)
+    {
+      // Join-from-snapshot (§2.1 disaster recovery/catch-up): the node
+      // boots with a holed ledger and the snapshot's KV image, needing
+      // only the suffix via AppendEntries.
+      const consensus::Snapshot& snap = *spec.snapshot;
+      consensus::PersistedState ps;
+      ps.ledger =
+        consensus::Ledger::from_snapshot(snap.index, snap.meta, snap.leaves);
+      ps.current_term = snap.term;
+      ps.commit_index = snap.index;
+      ps.snapshot = snap;
+      slot.node = std::make_unique<consensus::RaftNode>(
+        node_config_for(id, 0), std::move(ps));
+      slot.store = std::make_unique<kv::Store>(
+        kv::Store::from_image(snap.kv_image, snap.index));
+    }
+    else
+    {
+      // A joining node starts from the service's initial state; it
+      // catches up through AppendEntries.
+      slot.node = std::make_unique<consensus::RaftNode>(
+        node_config_for(id, 0), options_.initial_config,
+        options_.initial_leader);
+      slot.store = std::make_unique<kv::Store>();
+    }
     wire_node(id, *slot.node, *slot.store);
+    if (spec.snapshot)
+    {
+      slot.node->announce_recovery(consensus::Role::Follower);
+    }
+    else
+    {
+      // As in the constructor: the bootstrap prefix committed before the
+      // callback was wired.
+      for (Index i = 1; i <= slot.node->commit_index(); ++i)
+      {
+        apply_committed_entry(*slot.store, i, slot.node->ledger().at(i));
+      }
+    }
     nodes_.emplace(id, std::move(slot));
+  }
+
+  void Cluster::add_node_from_snapshot(NodeId id)
+  {
+    const auto leader = find_leader();
+    SCV_CHECK_MSG(
+      leader.has_value(), "join-from-snapshot needs a reachable leader");
+    add_node(JoinSpec(id, compact(*leader)));
   }
 
   void Cluster::crash(NodeId id)
@@ -127,26 +184,56 @@ namespace scv::driver
     crashed_.insert(id);
   }
 
-  void Cluster::restart(NodeId id)
+  void Cluster::restart(const JoinSpec& spec)
   {
+    const NodeId id = spec.id;
     SCV_CHECK_MSG(crashed_.contains(id), "restart needs a crashed node");
     NodeSlot& slot = nodes_.at(id);
     const consensus::Role pre_crash_role = slot.node->role();
-    consensus::PersistedState persisted = slot.node->persisted_state();
-    const Index committed = persisted.commit_index;
+
+    consensus::PersistedState persisted;
+    if (spec.snapshot)
+    {
+      // Disaster recovery: the persisted ledger is considered lost; the
+      // node rebuilds from the snapshot alone and refetches the suffix.
+      const consensus::Snapshot& snap = *spec.snapshot;
+      persisted.ledger =
+        consensus::Ledger::from_snapshot(snap.index, snap.meta, snap.leaves);
+      persisted.current_term = std::max(snap.term, slot.node->current_term());
+      persisted.commit_index = snap.index;
+      persisted.snapshot = snap;
+    }
+    else
+    {
+      persisted = slot.node->persisted_state();
+    }
 
     slot.node = std::make_unique<consensus::RaftNode>(
       node_config_for(id, ++incarnation_[id]), std::move(persisted));
-    slot.store = std::make_unique<kv::Store>();
-    wire_node(id, *slot.node, *slot.store);
 
-    // Replay the committed prefix into the fresh store — the same
-    // application the live commit callback performs, so a recovered
-    // store is indistinguishable from one that never crashed.
-    for (Index i = 1; i <= committed; ++i)
+    if (spec.snapshot)
     {
-      apply_committed_entry(*slot.store, i, slot.node->ledger().at(i));
+      slot.store = std::make_unique<kv::Store>(kv::Store::from_image(
+        spec.snapshot->kv_image, spec.snapshot->index));
     }
+    else
+    {
+      // Replay the committed suffix above any compaction hole onto the
+      // snapshot's image (or an empty store) — the same application the
+      // live commit callback performs, so a recovered store is
+      // indistinguishable from one that never crashed.
+      const auto& snap = slot.node->latest_snapshot();
+      slot.store = std::make_unique<kv::Store>(
+        snap ? kv::Store::from_image(snap->kv_image, snap->index) :
+               kv::Store());
+      for (Index i = slot.node->ledger().start_index() + 1;
+           i <= slot.node->commit_index();
+           ++i)
+      {
+        apply_committed_entry(*slot.store, i, slot.node->ledger().at(i));
+      }
+    }
+    wire_node(id, *slot.node, *slot.store);
     slot.node->announce_recovery(pre_crash_role);
     crashed_.erase(id);
   }
@@ -327,16 +414,21 @@ namespace scv::driver
 
   std::optional<TxId> Cluster::submit(std::string data)
   {
-    const auto leader = find_leader();
-    if (!leader)
-    {
-      return std::nullopt;
-    }
-    return submit_to(*leader, std::move(data));
+    return submit(Target{}, std::move(data));
   }
 
-  std::optional<TxId> Cluster::submit_to(NodeId id, std::string data)
+  std::optional<TxId> Cluster::submit(Target target, std::string data)
   {
+    NodeId id = target.node;
+    if (target.is_leader())
+    {
+      const auto leader = find_leader();
+      if (!leader)
+      {
+        return std::nullopt;
+      }
+      id = *leader;
+    }
     if (!nodes_.contains(id) || crashed_.contains(id))
     {
       return std::nullopt;
@@ -397,6 +489,26 @@ namespace scv::driver
       }
     }
     return consensus::TxStatus::Pending;
+  }
+
+  consensus::Snapshot Cluster::take_snapshot(NodeId id)
+  {
+    SCV_CHECK(nodes_.contains(id));
+    NodeSlot& slot = nodes_.at(id);
+    consensus::Snapshot snap = slot.node->make_snapshot();
+    // The store's commit version tracks the node's commit index, so the
+    // image is exactly the KV state at the covering index.
+    SCV_CHECK(slot.store->commit_version() == snap.index);
+    snap.kv_image = slot.store->serialize_image();
+    snap.kv_digest = crypto::sha256(snap.kv_image);
+    return snap;
+  }
+
+  consensus::Snapshot Cluster::compact(NodeId id)
+  {
+    consensus::Snapshot snap = take_snapshot(id);
+    nodes_.at(id).node->compact(snap);
+    return snap;
   }
 
   Index Cluster::max_commit() const

@@ -28,6 +28,37 @@ namespace scv::driver
   using consensus::Term;
   using consensus::TxId;
 
+  /// Addresses a submit: a specific node, or (default) whichever node the
+  /// cluster currently believes is leader.
+  struct Target
+  {
+    NodeId node = 0; // 0 = current leader
+
+    Target() = default;
+    Target(NodeId n) : node(n) {} // NOLINT(google-explicit-constructor)
+    [[nodiscard]] bool is_leader() const
+    {
+      return node == 0;
+    }
+  };
+
+  /// Uniform parameter object for membership operations: which node, and
+  /// optionally the snapshot it joins or recovers from.
+  struct JoinSpec
+  {
+    NodeId id = 0;
+    /// When set: add_node installs it instead of replaying from bootstrap
+    /// (join-from-snapshot); restart recovers from it alone, discarding
+    /// the persisted ledger (disaster recovery).
+    std::optional<consensus::Snapshot> snapshot;
+
+    JoinSpec(NodeId id) : id(id) {} // NOLINT(google-explicit-constructor)
+    JoinSpec(NodeId id, consensus::Snapshot snap) :
+      id(id),
+      snapshot(std::move(snap))
+    {}
+  };
+
   struct ClusterOptions
   {
     std::vector<NodeId> initial_config = {1, 2, 3};
@@ -53,9 +84,16 @@ namespace scv::driver
     // --- topology --------------------------------------------------------
 
     /// Creates a node that is not yet part of any configuration; it starts
-    /// as a follower and catches up via AppendEntries once a
-    /// reconfiguration adds it.
-    void add_node(NodeId id);
+    /// as a follower and catches up once a reconfiguration adds it. With
+    /// spec.snapshot set, the node boots from the snapshot (holed ledger,
+    /// KV image) and only needs the suffix via AppendEntries; otherwise it
+    /// replays from the service's bootstrap state.
+    void add_node(const JoinSpec& spec);
+
+    /// Convenience join-from-snapshot: snapshots the current leader
+    /// (compacting its ledger so it actually serves InstallSnapshot to
+    /// stragglers) and adds `id` from that snapshot. Requires a leader.
+    void add_node_from_snapshot(NodeId id);
 
     /// Fail-stop crash: the node stops ticking and receiving; in-flight
     /// messages to it are dropped on delivery.
@@ -68,7 +106,9 @@ namespace scv::driver
     /// follower and catches up through AppendEntries. The restarted
     /// incarnation gets a distinct timer-RNG stream so repeated
     /// crash-restart cycles stay deterministic but not identical.
-    void restart(NodeId id);
+    /// With spec.snapshot set, the persisted ledger is considered lost and
+    /// the node recovers from the snapshot alone (disaster recovery).
+    void restart(const JoinSpec& spec);
 
     [[nodiscard]] bool crashed(NodeId id) const
     {
@@ -133,19 +173,30 @@ namespace scv::driver
 
     [[nodiscard]] std::optional<NodeId> find_leader() const;
 
-    /// Submits a client transaction to the current leader (if any).
+    /// Submits a client transaction. The target defaults to whichever
+    /// node currently believes itself leader; pass an explicit node to
+    /// exercise stale-leader behavior. Returns nullopt when the target is
+    /// absent, crashed, or refuses (does not believe itself leader).
     std::optional<TxId> submit(std::string data);
-
-    /// Submits a client transaction to a specific node, flushing its
-    /// outbox; nullopt when the node is absent, crashed, or refuses
-    /// (does not believe itself leader).
-    std::optional<TxId> submit_to(NodeId id, std::string data);
+    std::optional<TxId> submit(Target target, std::string data);
 
     /// Asks the current leader to emit a signature transaction.
     std::optional<TxId> sign();
 
     /// Proposes a configuration change via the current leader.
     std::optional<TxId> reconfigure(std::vector<NodeId> new_nodes);
+
+    // --- snapshots ---------------------------------------------------------
+
+    /// Builds a complete snapshot (consensus state + KV image) covering
+    /// the node's current commit index. Does not compact anything.
+    [[nodiscard]] consensus::Snapshot take_snapshot(NodeId id);
+
+    /// Snapshots the node and compacts its ledger to the covering index:
+    /// entry bodies at and below it are dropped, and lagging followers are
+    /// subsequently served InstallSnapshot instead of AppendEntries.
+    /// Returns the adopted snapshot.
+    consensus::Snapshot compact(NodeId id);
 
     /// Convenience: submit + sign + run until the transaction commits on
     /// the leader or `max_ticks` elapse. Returns the tx status at the end.

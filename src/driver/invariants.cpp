@@ -13,7 +13,9 @@ namespace scv::driver
     ByteSink sink;
     for (Index i = 1; i <= len && i <= node.ledger().last_index(); ++i)
     {
-      const auto d = consensus::entry_digest(node.ledger().at(i));
+      // Merkle leaves survive compaction, so the fingerprint is stable
+      // across a snapshot hole.
+      const auto& d = node.ledger().leaf_digest(i);
       sink.raw(d.data(), d.size());
     }
     return sink.digest();
@@ -89,7 +91,7 @@ namespace scv::driver
            nb.ledger().last_index()});
         for (Index i = 1; i <= upto; ++i)
         {
-          if (!(na.ledger().at(i) == nb.ledger().at(i)))
+          if (na.ledger().leaf_digest(i) != nb.ledger().leaf_digest(i))
           {
             std::ostringstream os;
             os << "LogInv: nodes " << ids[a] << " and " << ids[b]
@@ -133,16 +135,16 @@ namespace scv::driver
       const auto& ledger = cluster_.node(id).ledger();
       for (Index i = 1; i + 1 <= ledger.last_index(); ++i)
       {
-        const auto& cur = ledger.at(i);
-        const auto& next = ledger.at(i + 1);
-        const bool ok = cur.term == next.term ||
-          (cur.term < next.term &&
-           cur.type == consensus::EntryType::Signature);
+        const auto cur_term = ledger.term_at(i);
+        const auto next_term = ledger.term_at(i + 1);
+        const bool ok = cur_term == next_term ||
+          (cur_term < next_term &&
+           ledger.type_at(i) == consensus::EntryType::Signature);
         if (!ok)
         {
           std::ostringstream os;
-          os << "MonoLogInv: node " << id << " has term change " << cur.term
-             << "->" << next.term << " at index " << i
+          os << "MonoLogInv: node " << id << " has term change " << cur_term
+             << "->" << next_term << " at index " << i
              << " not preceded by a signature";
           out.push_back(os.str());
           break;

@@ -83,6 +83,11 @@ namespace scv::driver::nemesis
     {
       return "tick";
     }
+    if (head == "snapshot" || head == "compact" ||
+        head == "join-from-snapshot")
+    {
+      return "snapshot";
+    }
     if (head == "drop-link" || head == "drop-all" || head == "block")
     {
       return "drop";
@@ -194,6 +199,8 @@ namespace scv::driver::nemesis
       RetryStorm,
       Grow,
       ReconfigSplit,
+      SnapshotJoin,
+      CompactCrash,
       kMotifs
     };
 
@@ -216,6 +223,8 @@ namespace scv::driver::nemesis
       w[RetryStorm] = 0.6;
       w[Grow] = next_id <= kMaxSpecNode ? 0.8 : 0.0;
       w[ReconfigSplit] = next_id + 1 <= kMaxSpecNode ? 0.8 : 0.0;
+      w[SnapshotJoin] = next_id <= kMaxSpecNode ? 0.8 : 0.0;
+      w[CompactCrash] = 0.8;
 
       switch (static_cast<Motif>(rng.weighted_pick(w)))
       {
@@ -405,6 +414,69 @@ namespace scv::driver::nemesis
           tick(8, 20);
           break;
         }
+        case SnapshotJoin:
+        {
+          // Join-from-snapshot through the protocol: commit a prefix,
+          // compact whoever leads (so stragglers are served
+          // InstallSnapshot instead of AppendEntries), then add a fresh
+          // node and reconfigure it in — its catch-up goes through the
+          // snapshot, optionally racing a partition mid-install.
+          s.ops.push_back("try-submit j" + std::to_string(payload++));
+          s.ops.push_back("try-sign");
+          tick(2, 8);
+          s.ops.push_back("compact leader");
+          const NodeId joiner = next_id++;
+          known.push_back(joiner);
+          s.max_node = std::max(s.max_node, joiner);
+          s.ops.push_back("add-node " + std::to_string(joiner));
+          s.ops.push_back("try-reconfigure " + join_ids(known, ','));
+          s.ops.push_back("try-sign");
+          if (!partitioned && rng.chance(0.5))
+          {
+            std::vector<NodeId> others;
+            for (const NodeId id : known)
+            {
+              if (id != joiner)
+              {
+                others.push_back(id);
+              }
+            }
+            s.ops.push_back(
+              "partition " + std::to_string(joiner) + " | " +
+              join_ids(others, ' '));
+            tick(2, 10);
+            s.ops.push_back("heal");
+          }
+          tick(4, 16);
+          break;
+        }
+        case CompactCrash:
+        {
+          // Compact-then-crash-then-recover: commit a prefix, compact a
+          // node's ledger, fail-stop it, and (usually) bring it back —
+          // recovery must reconstruct the same state from snapshot +
+          // suffix that a full-ledger replay would have produced.
+          s.ops.push_back("try-submit k" + std::to_string(payload++));
+          s.ops.push_back("try-sign");
+          tick(2, 8);
+          const NodeId victim = pick_live();
+          s.ops.push_back("compact " + std::to_string(victim));
+          if (crashed.size() + 1 <= known.size() / 2)
+          {
+            s.ops.push_back("crash " + std::to_string(victim));
+            tick(1, 8);
+            if (rng.chance(0.7))
+            {
+              s.ops.push_back("restart " + std::to_string(victim));
+            }
+            else
+            {
+              crashed.push_back(victim);
+            }
+          }
+          tick(1, 8);
+          break;
+        }
         case kMotifs:
           SCV_CHECK(false);
       }
@@ -571,7 +643,7 @@ namespace scv::driver::nemesis
     // Schedules use loss/duplication faults; compose IsFault steps.
     vopts.fault_composition = true;
     vopts.search.mode = spec::SearchMode::Dfs;
-    vopts.search.threads = 1;
+    vopts.search.threads = options_.validate_threads;
     vopts.search.max_states = options_.validate_max_states;
     vopts.search.time_budget_seconds = seconds;
     const auto result = trace::validate_consensus_trace(raw, params, vopts);

@@ -10,9 +10,12 @@
 //   * generate: a seeded Rng assembles a FaultSchedule from fault motifs —
 //     node crash + restart (real recovery from the persisted ledger),
 //     partitions and heals, message loss / duplication / link drops,
-//     clock skew, election storms, client retry storms, and
-//     reconfiguration splits (the shape that historically broke the
-//     quorum tally, Table 2 bug 1). Same seed => byte-identical schedule.
+//     clock skew, election storms, client retry storms, reconfiguration
+//     splits (the shape that historically broke the quorum tally, Table 2
+//     bug 1), snapshot joins (compact the leader, add a node, let it
+//     catch up via InstallSnapshot — optionally racing a partition), and
+//     compact-crash-restart recovery. Same seed => byte-identical
+//     schedule.
 //   * execute: the schedule is serialized to scenario-DSL text and run
 //     through ScenarioRunner with the cross-node invariant checker after
 //     every operation — the emitted .scen IS the execution, so a saved
@@ -107,9 +110,11 @@ namespace scv::driver::nemesis
     bool validate_traces = true;
     bool shrink = true;
     uint64_t max_shrink_iterations = 400;
-    /// Per-trace validation caps (DFS, sequential reference engine).
+    /// Per-trace validation caps (DFS; validate_threads = 1 is the
+    /// sequential reference engine, > 1 the work-stealing search).
     uint64_t validate_max_states = 200000;
     double validate_seconds = 10.0;
+    unsigned validate_threads = 1;
     /// Node template for the cluster under test (election timeouts,
     /// BugFlags, ...).
     consensus::NodeConfig node_template;

@@ -292,6 +292,59 @@ namespace scv::driver
           c.add_node(*id);
           return "";
         }
+        if (cmd == "snapshot" || cmd == "compact")
+        {
+          // `<op> <id>` or `<op> leader` (whoever currently leads).
+          if (t.size() != 2)
+          {
+            return "'" + cmd + "' needs a node id or 'leader'";
+          }
+          const auto id =
+            t[1] == "leader" ? c.find_leader() : parse_u64(t[1]);
+          if (t[1] != "leader" && (!id || !c.has_node(*id)))
+          {
+            return "'" + cmd + "' needs a known node id";
+          }
+          // Tolerant of a missing leader, a crashed target, or an empty
+          // commit prefix: schedule shrinking may remove the ops that
+          // made the snapshot possible, and the orphan must stay a no-op.
+          if (id && c.has_node(*id) && !c.crashed(*id) &&
+              c.node(*id).commit_index() > 0)
+          {
+            if (cmd == "snapshot")
+            {
+              (void)c.take_snapshot(*id);
+            }
+            else
+            {
+              (void)c.compact(*id);
+            }
+          }
+          return "";
+        }
+        if (cmd == "join-from-snapshot")
+        {
+          const auto id = t.size() == 2 ? parse_u64(t[1]) : std::nullopt;
+          if (!id)
+          {
+            return "'join-from-snapshot' needs one id";
+          }
+          if (c.has_node(*id))
+          {
+            return "'join-from-snapshot' id already present";
+          }
+          const auto leader = c.find_leader();
+          if (!leader)
+          {
+            return "no leader to snapshot for join";
+          }
+          if (c.node(*leader).commit_index() == 0)
+          {
+            return "leader has nothing committed to snapshot";
+          }
+          c.add_node_from_snapshot(*id);
+          return "";
+        }
         if (cmd == "submit")
         {
           if (t.size() < 2)

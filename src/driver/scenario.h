@@ -47,6 +47,16 @@
 //   restart <id>               recover a crashed node from its ledger
 //                              (no-op when the node is not crashed, so
 //                              shrunk schedules stay well-formed)
+//   snapshot <id|leader>       build a snapshot of the node's committed
+//                              state (no-op on a crashed target or an
+//                              empty commit prefix)
+//   compact <id|leader>        snapshot + compact the node's ledger to
+//                              the covering index; lagging peers are
+//                              then served InstallSnapshot (same
+//                              tolerances as `snapshot`)
+//   join-from-snapshot <id>    add a new node booted from the current
+//                              leader's snapshot (compacts the leader;
+//                              errors on an existing id or no leader)
 //   timeout <id>               force an election timeout (no-op on a
 //                              crashed node — the dead don't campaign)
 //   skew <id> <n>              clock skew: run n extra local ticks on one

@@ -31,13 +31,16 @@ namespace scv::driver
   std::vector<TxId> Session::app_txids_upto(
     const consensus::RaftNode& node, Index upto)
   {
+    // term_at/type_at are exact below a compaction hole, so the id list
+    // is identical whether the prefix was replayed or snapshotted away.
     std::vector<TxId> out;
-    for (Index i = 1; i <= upto && i <= node.ledger().last_index(); ++i)
+    const auto& ledger = node.ledger();
+    for (Index i = 1; i <= upto && i <= ledger.last_index(); ++i)
     {
-      const auto& entry = node.ledger().at(i);
-      if (entry.type == EntryType::Data)
+      if (ledger.type_at(i) == EntryType::Data)
       {
-        out.push_back(TxId{entry.term, static_cast<Index>(out.size() + 1)});
+        out.push_back(
+          TxId{ledger.term_at(i), static_cast<Index>(out.size() + 1)});
       }
     }
     return out;
@@ -88,7 +91,7 @@ namespace scv::driver
     req.client_seq = seq;
     history_.push_back(req);
 
-    const auto raw = cluster_.submit_to(*target, std::move(payload));
+    const auto raw = cluster_.submit(Target(*target), std::move(payload));
     if (!raw)
     {
       return seq; // requested but never executed (the node refused)

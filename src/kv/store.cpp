@@ -5,6 +5,44 @@
 
 namespace scv::kv
 {
+  namespace
+  {
+    void put_u64(std::vector<uint8_t>& out, uint64_t v)
+    {
+      for (int shift = 56; shift >= 0; shift -= 8)
+      {
+        out.push_back(static_cast<uint8_t>((v >> shift) & 0xff));
+      }
+    }
+
+    void put_str(std::vector<uint8_t>& out, const std::string& s)
+    {
+      put_u64(out, s.size());
+      out.insert(out.end(), s.begin(), s.end());
+    }
+
+    uint64_t take_u64(const std::vector<uint8_t>& in, size_t& pos)
+    {
+      SCV_CHECK_MSG(pos + 8 <= in.size(), "kv image truncated");
+      uint64_t v = 0;
+      for (int k = 0; k < 8; ++k)
+      {
+        v = (v << 8) | in[pos + k];
+      }
+      pos += 8;
+      return v;
+    }
+
+    std::string take_str(const std::vector<uint8_t>& in, size_t& pos)
+    {
+      const uint64_t len = take_u64(in, pos);
+      SCV_CHECK_MSG(pos + len <= in.size(), "kv image truncated");
+      std::string s(in.begin() + pos, in.begin() + pos + len);
+      pos += len;
+      return s;
+    }
+  }
+
   std::optional<std::string> Store::get(const std::string& key) const
   {
     return get_at(key, current_version());
@@ -13,9 +51,14 @@ namespace scv::kv
   std::optional<std::string> Store::get_at(
     const std::string& key, Version version) const
   {
-    SCV_CHECK(version <= applied_.size());
+    SCV_CHECK(version <= current_version());
+    SCV_CHECK_MSG(
+      version >= base_version_,
+      "no reads below a hole: version " << version
+                                        << " predates the snapshot image at "
+                                        << base_version_);
     // Scan backwards for the most recent write to the key.
-    for (size_t v = version; v-- > 0;)
+    for (size_t v = version - base_version_; v-- > 0;)
     {
       for (auto it = applied_[v].writes.rbegin();
            it != applied_[v].writes.rend();
@@ -27,6 +70,11 @@ namespace scv::kv
         }
       }
     }
+    const auto it = base_.find(key);
+    if (it != base_.end())
+    {
+      return it->second;
+    }
     return std::nullopt;
   }
 
@@ -34,6 +82,13 @@ namespace scv::kv
     const std::string& prefix) const
   {
     std::map<std::string, bool> present; // key -> currently present
+    for (const auto& [key, value] : base_)
+    {
+      if (starts_with(key, prefix))
+      {
+        present[key] = true;
+      }
+    }
     for (const auto& ws : applied_)
     {
       for (const auto& w : ws.writes)
@@ -55,22 +110,89 @@ namespace scv::kv
     return out;
   }
 
+  std::map<std::string, std::string> Store::materialize(Version version) const
+  {
+    SCV_CHECK(version <= current_version());
+    SCV_CHECK_MSG(
+      version >= base_version_,
+      "no reads below a hole: version " << version
+                                        << " predates the snapshot image at "
+                                        << base_version_);
+    std::map<std::string, std::string> out = base_;
+    for (Version v = base_version_ + 1; v <= version; ++v)
+    {
+      for (const auto& w : applied_[v - base_version_ - 1].writes)
+      {
+        if (w.value.has_value())
+        {
+          out[w.key] = *w.value;
+        }
+        else
+        {
+          out.erase(w.key);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<uint8_t> Store::serialize_image() const
+  {
+    const auto map = materialize(commit_version_);
+    std::vector<uint8_t> out;
+    put_u64(out, map.size());
+    for (const auto& [key, value] : map) // std::map: sorted, deterministic
+    {
+      put_str(out, key);
+      put_str(out, value);
+    }
+    return out;
+  }
+
+  Store Store::from_image(
+    const std::vector<uint8_t>& image, Version base_version)
+  {
+    Store store;
+    size_t pos = 0;
+    const uint64_t count = take_u64(image, pos);
+    for (uint64_t k = 0; k < count; ++k)
+    {
+      std::string key = take_str(image, pos);
+      std::string value = take_str(image, pos);
+      store.base_.emplace(std::move(key), std::move(value));
+    }
+    SCV_CHECK_MSG(pos == image.size(), "kv image has trailing bytes");
+    store.base_version_ = base_version;
+    store.commit_version_ = base_version;
+    return store;
+  }
+
+  void Store::install_image(
+    const std::vector<uint8_t>& image, Version base_version)
+  {
+    Store fresh = from_image(image, base_version);
+    base_ = std::move(fresh.base_);
+    applied_.clear();
+    base_version_ = fresh.base_version_;
+    commit_version_ = fresh.commit_version_;
+  }
+
   Version Store::apply(const WriteSet& ws)
   {
     applied_.push_back(ws);
-    const Version v = applied_.size();
+    const Version v = current_version();
     fire(ordered_hooks_, v, ws);
     return v;
   }
 
   void Store::commit(Version version)
   {
-    SCV_CHECK(version <= applied_.size());
+    SCV_CHECK(version <= current_version());
     SCV_CHECK_MSG(
       version >= commit_version_, "commit version must not move backwards");
     for (Version v = commit_version_ + 1; v <= version; ++v)
     {
-      fire(committed_hooks_, v, applied_[v - 1]);
+      fire(committed_hooks_, v, applied_[v - base_version_ - 1]);
     }
     commit_version_ = version;
   }
@@ -79,8 +201,8 @@ namespace scv::kv
   {
     SCV_CHECK_MSG(
       version >= commit_version_, "cannot roll back committed versions");
-    SCV_CHECK(version <= applied_.size());
-    applied_.resize(version);
+    SCV_CHECK(version <= current_version());
+    applied_.resize(version - base_version_);
   }
 
   void Store::on_ordered(const std::string& prefix, Hook hook)

@@ -8,7 +8,11 @@
 // hook mechanism implicated in the premature-retirement bug (§7).
 //
 // The store supports rollback to an earlier version, required when a
-// follower truncates a conflicting log suffix.
+// follower truncates a conflicting log suffix, and snapshot images: a
+// deterministic byte serialization of the materialized map at the commit
+// version, from which a joining replica reconstructs the store without
+// replaying the compacted history ("no reads below a hole": versions at or
+// below the image base have no per-version write sets).
 #pragma once
 
 #include <cstdint>
@@ -59,13 +63,42 @@ namespace scv::kv
 
     [[nodiscard]] Version current_version() const
     {
-      return applied_.size();
+      return base_version_ + applied_.size();
     }
 
     [[nodiscard]] Version commit_version() const
     {
       return commit_version_;
     }
+
+    /// Version of the snapshot image this store was installed from; 0 for
+    /// a store built by full replay. Historical reads below this version
+    /// are unavailable (the hole below a snapshot).
+    [[nodiscard]] Version base_version() const
+    {
+      return base_version_;
+    }
+
+    /// The fully materialized key-value map as of `version` (latest write
+    /// wins, deletions erased). The basis of snapshot images.
+    [[nodiscard]] std::map<std::string, std::string> materialize(
+      Version version) const;
+
+    /// Deterministic byte image of the committed state: sorted key/value
+    /// pairs, length-prefixed. Two stores that agree on the materialized
+    /// committed map produce bit-identical images.
+    [[nodiscard]] std::vector<uint8_t> serialize_image() const;
+
+    /// Reconstructs a store from an image produced by serialize_image().
+    /// The resulting store starts at `base_version` (applied == committed
+    /// == base) with no per-version history below it.
+    static Store from_image(
+      const std::vector<uint8_t>& image, Version base_version);
+
+    /// Replaces this store's contents with an image in place, keeping
+    /// hook subscriptions (a snapshot install swaps the state machine
+    /// under the running node).
+    void install_image(const std::vector<uint8_t>& image, Version base_version);
 
     /// Applies a write set as the next version (ordered but not yet
     /// committed). Returns the assigned version. Fires ordered hooks.
@@ -98,7 +131,11 @@ namespace scv::kv
       const std::vector<PrefixHook>& hooks, Version version,
       const WriteSet& ws) const;
 
-    std::vector<WriteSet> applied_; // version v = applied_[v-1]
+    // version v (v > base_version_) = applied_[v - base_version_ - 1];
+    // versions <= base_version_ are materialized in base_.
+    std::vector<WriteSet> applied_;
+    std::map<std::string, std::string> base_;
+    Version base_version_ = 0;
     Version commit_version_ = 0;
     std::vector<PrefixHook> ordered_hooks_;
     std::vector<PrefixHook> committed_hooks_;

@@ -307,6 +307,36 @@ namespace scv::specs::ccfraft
        }});
 
     out.push_back(
+      {"SnapshotInv", [](const State& s) {
+         // The compaction watermark never passes the commit index (no
+         // committed entry is ever dropped before it commits), and when
+         // set it rests on a signature entry whose term the snapshot
+         // records — the "log hole" is always signature-covered.
+         for (Nid i = 1; i <= s.n_nodes; ++i)
+         {
+           const SpecNode& n = s.node(i);
+           if (n.snap_idx == 0)
+           {
+             if (n.snap_term != 0)
+             {
+               return false;
+             }
+             continue;
+           }
+           if (n.snap_idx > n.commit_index || n.snap_idx > n.len())
+           {
+             return false;
+           }
+           const SpecEntry& cover = n.log[n.snap_idx - 1];
+           if (cover.type != EType::Sig || cover.term != n.snap_term)
+           {
+             return false;
+           }
+         }
+         return true;
+       }});
+
+    out.push_back(
       {"VotesFromKnownNodesInv", [](const State& s) {
          Bits all = 0;
          for (Nid n = 1; n <= s.n_nodes; ++n)
@@ -373,6 +403,21 @@ namespace scv::specs::ccfraft
          for (Nid i = 1; i <= s.n_nodes; ++i)
          {
            if (t.node(i).current_term < s.node(i).current_term)
+           {
+             return false;
+           }
+         }
+         return true;
+       }});
+
+    out.push_back(
+      {"MonotonicSnapshotProp", [](const State& s, const State& t) {
+         // The compaction watermark only advances: an installed or locally
+         // taken snapshot never un-compacts, and the recovery-equivalence
+         // argument (snapshot + suffix == full replay) relies on it.
+         for (Nid i = 1; i <= s.n_nodes; ++i)
+         {
+           if (t.node(i).snap_idx < s.node(i).snap_idx)
            {
              return false;
            }

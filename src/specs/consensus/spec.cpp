@@ -359,6 +359,13 @@ namespace scv::specs::ccfraft
         return;
       }
       const uint8_t start = std::min(nd.sent_index[j - 1], nd.len());
+      if (start < nd.snap_idx)
+      {
+        // The window opens below the compaction point: those bodies are
+        // gone on the implementation side, so the leader must offer the
+        // snapshot instead (SendSnapshot).
+        return;
+      }
       const uint8_t max_end = std::min<uint8_t>(
         nd.len(), static_cast<uint8_t>(start + p.max_batch));
 
@@ -400,6 +407,169 @@ namespace scv::specs::ccfraft
       {
         send_window(end);
       }
+    }
+
+    void compact_log(
+      const Params& p,
+      const State& s,
+      Nid i,
+      uint8_t idx,
+      const Emit<State>& emit)
+    {
+      const SpecNode& nd = s.node(i);
+      if (!participating(p, nd))
+      {
+        return;
+      }
+      // Any committed signature above the current compaction point may
+      // become the new one; the log content stays (ghost variables), only
+      // the watermark moves — mirroring Ledger::compact, which drops entry
+      // bodies but keeps the per-index metadata and Merkle leaves.
+      if (
+        idx == 0 || idx > nd.commit_index || idx <= nd.snap_idx ||
+        nd.at(idx).type != EType::Sig)
+      {
+        return;
+      }
+      State s2 = s;
+      SpecNode& n2 = s2.node(i);
+      n2.snap_idx = idx;
+      n2.snap_term = nd.term_at(idx);
+      emit(s2);
+    }
+
+    void send_snapshot(
+      const Params& p, const State& s, Nid i, Nid j, const Emit<State>& emit)
+    {
+      const SpecNode& nd = s.node(i);
+      if (
+        !participating(p, nd) || nd.role != SRole::Leader ||
+        !has_node(targets_of(nd, i), j))
+      {
+        return;
+      }
+      // Enabled exactly when AppendEntries is not: the follower's next
+      // entry fell below the leader's compaction point.
+      if (nd.snap_idx == 0 || nd.sent_index[j - 1] >= nd.snap_idx)
+      {
+        return;
+      }
+      SpecMessage m;
+      m.type = MType::InstallSnap;
+      m.from = i;
+      m.to = j;
+      m.term = nd.current_term;
+      m.last_idx = nd.snap_idx;
+      m.prev_term = nd.snap_term;
+      m.commit = nd.snap_idx;
+      for (uint8_t k = 1; k <= nd.snap_idx; ++k)
+      {
+        m.entries.push_back(nd.at(k));
+      }
+      if (s.message_count(m) >= p.max_copies)
+      {
+        return;
+      }
+      State s2 = s;
+      // Optimistic acknowledgement, like AppendEntries: the send window
+      // advances to the snapshot index; a NACK rolls it back.
+      s2.node(i).sent_index[j - 1] = nd.snap_idx;
+      s2.add_message(m);
+      emit(s2);
+    }
+
+    void handle_install_snapshot(
+      const Params& p,
+      const State& s,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>& emit)
+    {
+      if (
+        m.type != MType::InstallSnap || m.to != to ||
+        s.message_count(m) == 0 || !participating(p, s.node(to)))
+      {
+        return;
+      }
+      const SpecNode& nd = s.node(to);
+      if (m.term > nd.current_term)
+      {
+        return; // UpdateTerm must fire first
+      }
+
+      State s2 = s;
+      s2.remove_message(m);
+      SpecNode& n2 = s2.node(to);
+
+      const auto reply = [&](bool success, uint8_t last_idx) {
+        SpecMessage r;
+        r.type = MType::AeResp;
+        r.from = to;
+        r.to = m.from;
+        r.term = n2.current_term;
+        r.success = success;
+        r.last_idx = last_idx;
+        s2.add_message(r);
+      };
+
+      if (m.term < n2.current_term)
+      {
+        reply(false, 0);
+        emit(s2);
+        return;
+      }
+      if (n2.role == SRole::Leader)
+      {
+        emit(s2); // same-term snapshot to a leader: consumed, ignored
+        return;
+      }
+      if (n2.role == SRole::Candidate)
+      {
+        n2.role = SRole::Follower;
+        clear_leader_state(n2);
+      }
+
+      if (m.last_idx <= n2.commit_index)
+      {
+        // Already covered: acknowledge progress without installing
+        // (mirrors the implementation, which keeps its longer prefix).
+        reply(true, n2.commit_index);
+        emit(s2);
+        return;
+      }
+
+      // Install: the snapshot prefix replaces the log wholesale —
+      // committed prefixes agree across nodes (LogInv), so this only
+      // rewrites uncommitted divergence. Membership is replayed from the
+      // installed prefix, exactly as the implementation reseeds its
+      // retired set and configurations from the snapshot artifact.
+      n2.log.assign(m.entries.begin(), m.entries.end());
+      n2.membership = SMembership::Active;
+      bool ever_member = false;
+      for (const SpecEntry& e : n2.log)
+      {
+        note_membership_on_append(n2, to, e);
+        if (e.type == EType::Reconfig && has_node(e.config, to))
+        {
+          ever_member = true;
+        }
+      }
+      const uint8_t old_commit = 0;
+      n2.commit_index = m.last_idx;
+      n2.snap_idx = m.last_idx;
+      n2.snap_term = m.prev_term;
+      commit_effects(n2, to, old_commit);
+      if (!ever_member)
+      {
+        // A joiner that appears in no configuration of the prefix is not
+        // in the retirement pipeline — it simply is not a member yet. The
+        // replay above would have parked it at Ordered/Committed via the
+        // configs that exclude it; a passive joiner is Active (the same
+        // state initial_state gives nodes outside the initial config).
+        n2.membership = SMembership::Active;
+      }
+      reply(true, m.last_idx);
+      emit(s2);
     }
 
     void handle_ae_request(
@@ -924,6 +1094,44 @@ namespace scv::specs::ccfraft
          }
        },
        1.0});
+    if (params.enable_snapshots)
+    {
+      def.actions.push_back(
+        {"CompactLog",
+         [p](const State& s, const Emit<State>& emit) {
+           for (Nid i = 1; i <= s.n_nodes; ++i)
+           {
+             const SpecNode& nd = s.node(i);
+             for (const uint8_t idx : nd.sig_indices_after(nd.snap_idx))
+             {
+               if (idx <= nd.commit_index)
+               {
+                 a::compact_log(p, s, i, idx, emit);
+               }
+             }
+           }
+         },
+         p.failure_weight});
+      def.actions.push_back(
+        {"SendSnapshot",
+         [p](const State& s, const Emit<State>& emit) {
+           for (Nid i = 1; i <= s.n_nodes; ++i)
+           {
+             for (Nid j = 1; j <= s.n_nodes; ++j)
+             {
+               if (i != j)
+               {
+                 a::send_snapshot(p, s, i, j, emit);
+               }
+             }
+           }
+         },
+         1.0});
+      def.actions.push_back(
+        {"HandleInstallSnapshotRequest",
+         for_each_message(MType::InstallSnap, a::handle_install_snapshot),
+         1.0});
+    }
     def.actions.push_back(
       {"HandleAppendEntriesRequest",
        for_each_message(MType::AeReq, a::handle_ae_request),

@@ -1,16 +1,21 @@
-// The consensus specification (§4): 17 actions over the State of
+// The consensus specification (§4): 20 actions over the State of
 // spec_types.h, with the paper's safety properties, plus the two network
 // fault actions of the network module (message drop and duplication).
 //
-// Action inventory (matching the paper's action count and the CCF TLA+
-// spec's vocabulary):
+// Action inventory (matching the CCF TLA+ spec's vocabulary):
 //   Timeout, RequestVote, BecomeLeader, ClientRequest,
 //   SignCommittableMessages, ChangeConfiguration, AppendEntries,
+//   CompactLog, SendSnapshot, HandleInstallSnapshotRequest,
 //   HandleAppendEntriesRequest, HandleAppendEntriesResponse,
 //   HandleRequestVoteRequest, HandleRequestVoteResponse, UpdateTerm,
 //   CheckQuorum, ProposeVote, HandleProposeVote, AdvanceCommitIndex,
 //   AppendRetirement
 //   (+ network module: DropMessage, DuplicateMessage)
+//
+// Compaction uses the ghost-log technique: CompactLog only moves the
+// snap_idx/snap_term watermark, the compacted log content stays in the
+// state so every invariant keeps quantifying over it, and SendSnapshot
+// ships that ghost prefix where the implementation ships a KV image.
 //
 // The individual action transition functions are exported so the trace
 // validation spec (§6.2) can reuse them with trace-derived parameters —
@@ -45,6 +50,15 @@ namespace scv::specs::ccfraft
     uint8_t max_copies = 2; // cap per distinct message (duplication bound)
     /// Configurations a leader may propose; empty disables reconfiguration.
     std::vector<Bits> allowed_reconfigs;
+
+    /// Registers the snapshot action family (CompactLog, SendSnapshot,
+    /// HandleInstallSnapshotRequest) in build_spec. Off by default:
+    /// compaction multiplies the bounded state space (one watermark choice
+    /// per committed signature per node, plus large InstallSnap messages)
+    /// without affecting the safety of snapshot-free models. Trace
+    /// validation is unaffected by the flag — it drives the exported
+    /// action functions directly.
+    bool enable_snapshots = false;
 
     /// Simulation weight for failure actions (Timeout, CheckQuorum, Drop,
     /// Duplicate); the paper manually down-weights these to push
@@ -110,6 +124,23 @@ namespace scv::specs::ccfraft
       Nid j,
       int forced_entries,
       const Emit<State>&);
+    /// Moves node i's compaction watermark to the committed signature at
+    /// idx (ghost compaction: log content is retained).
+    void compact_log(
+      const Params&, const State&, Nid i, uint8_t idx, const Emit<State>&);
+    /// Leader i offers its snapshot (ghost prefix up to snap_idx) to j;
+    /// enabled exactly when j's send window is below the compaction point.
+    void send_snapshot(
+      const Params&, const State&, Nid i, Nid j, const Emit<State>&);
+    /// Follower installs an offered snapshot (or ACKs it away when its
+    /// commit index already covers it); replies with an ordinary
+    /// AppendEntries response.
+    void handle_install_snapshot(
+      const Params&,
+      const State&,
+      Nid to,
+      const SpecMessage& m,
+      const Emit<State>&);
     void handle_ae_request(
       const Params&,
       const State&,
@@ -159,8 +190,9 @@ namespace scv::specs::ccfraft
       const Params&, const State&, const SpecMessage& m, const Emit<State>&);
   }
 
-  /// Assembles the full SpecDef: init, 17 protocol actions + 2 fault
-  /// actions, invariants and action properties.
+  /// Assembles the full SpecDef: init, 20 protocol actions + 2 fault
+  /// actions, invariants and action properties. The snapshot family is
+  /// registered only when Params::enable_snapshots is set.
   spec::SpecDef<State> build_spec(const Params& params);
 
   /// The invariants/properties, exposed for reuse (e.g. trace-time

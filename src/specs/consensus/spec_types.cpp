@@ -53,6 +53,10 @@ namespace scv::specs::ccfraft
         os << "PV(" << int(from) << "->" << int(to) << " t=" << int(term)
            << ")";
         break;
+      case MType::InstallSnap:
+        os << "IS(" << int(from) << "->" << int(to) << " t=" << int(term)
+           << " snap=" << int(last_idx) << "." << int(prev_term) << ")";
+        break;
     }
     return os.str();
   }
@@ -175,8 +179,12 @@ namespace scv::specs::ccfraft
           os << "R";
           break;
       }
-      os << " t=" << int(nd.current_term) << " c=" << int(nd.commit_index)
-         << " log=";
+      os << " t=" << int(nd.current_term) << " c=" << int(nd.commit_index);
+      if (nd.snap_idx != 0)
+      {
+        os << " snap=" << int(nd.snap_idx) << "." << int(nd.snap_term);
+      }
+      os << " log=";
       for (const auto& e : nd.log)
       {
         switch (e.type)

@@ -100,6 +100,12 @@ namespace scv::specs::ccfraft
     RvReq,
     RvResp,
     ProposeVote,
+    /// Leader -> lagging follower whose next entry fell below the
+    /// leader's compaction point. Uses last_idx = snapshot index,
+    /// prev_term = snapshot term, commit = snapshot index; entries carry
+    /// the ghost prefix [1, last_idx] (the spec retains compacted content
+    /// to state invariants over it — the implementation ships a KV image).
+    InstallSnap,
   };
 
   struct SpecMessage
@@ -169,6 +175,13 @@ namespace scv::specs::ccfraft
     Bits votes_granted = 0;
     std::vector<SpecEntry> log;
     uint8_t commit_index = 0;
+    /// Ghost-log compaction watermark: entries at or below snap_idx are
+    /// physically dropped by the implementation but retained here so the
+    /// invariants keep quantifying over them (the ghost-variable technique
+    /// of Gu et al.). snap_idx = 0 means nothing compacted; otherwise
+    /// log[snap_idx - 1] is the covering signature with term snap_term.
+    uint8_t snap_idx = 0;
+    uint8_t snap_term = 0;
     std::array<uint8_t, kMaxNodes> sent_index{};
     std::array<uint8_t, kMaxNodes> match_index{};
     SMembership membership = SMembership::Active;
@@ -187,6 +200,8 @@ namespace scv::specs::ccfraft
         e.serialize(sink);
       }
       sink.u8(commit_index);
+      sink.u8(snap_idx);
+      sink.u8(snap_term);
       for (const uint8_t v : sent_index)
       {
         sink.u8(v);

@@ -122,6 +122,10 @@ namespace scv::specs::ccfraft
     mix(has_node(node.votes_granted, self) ? 1u : 0u);
     mix(static_cast<uint64_t>(node.membership));
     mix(node.commit_index);
+    // Snapshot watermark: an index and a term, both label-invariant
+    // scalars (no node ids), so they mix directly.
+    mix(node.snap_idx);
+    mix(node.snap_term);
     mix(node.log.size());
     for (const SpecEntry& e : node.log)
     {

@@ -577,6 +577,94 @@ namespace scv::trace
           };
           break;
 
+        case EventKind::SendInstallSnapshot:
+          // Like IsSendAppendEntries: enablement on current state, reuse
+          // SendSnapshot, assert the network gained the matching offer
+          // (last_idx = snapshot index, prev_term = snapshot term).
+          line.expand = [e, p, node, peer](const State& s, const Emit<State>& emit) {
+            if (!pre_state_matches(s, e))
+            {
+              return;
+            }
+            actions::send_snapshot(p, s, node, peer, [&](const State& s2) {
+              const auto gained = matching_messages(s2, [&](const SpecMessage& m) {
+                return m.type == MType::InstallSnap && m.from == node &&
+                  m.to == peer && m.term == e.msg_term &&
+                  m.last_idx == e.last_idx && m.prev_term == e.prev_term &&
+                  s2.message_count(m) > s.message_count(m);
+              });
+              if (!gained.empty())
+              {
+                emit(s2);
+              }
+            });
+          };
+          break;
+
+        case EventKind::RecvInstallSnapshot:
+          // Mirrors RecvAppendEntries: the handler answers with an
+          // ordinary AppendEntries response, which the trace's next
+          // sndAER line pins.
+          line.expand = [e, p, node, peer, reply = reply_lookahead](
+                          const State& s, const Emit<State>& emit) {
+            if (!pre_state_matches(s, e))
+            {
+              return;
+            }
+            const auto candidates = matching_messages(s, [&](const SpecMessage& m) {
+              return m.type == MType::InstallSnap && m.from == peer &&
+                m.to == node && m.term == e.msg_term &&
+                m.last_idx == e.last_idx && m.prev_term == e.prev_term;
+            });
+            for (const SpecMessage& m : candidates)
+            {
+              with_update_term(p, s, node, e.msg_term, [&](const State& s1) {
+                actions::handle_install_snapshot(
+                  p, s1, node, m, [&](const State& s2) {
+                    if (reply.has_value())
+                    {
+                      SpecMessage r;
+                      r.type = MType::AeResp;
+                      r.from = node;
+                      r.to = static_cast<Nid>(reply->peer);
+                      r.term = static_cast<uint8_t>(reply->msg_term);
+                      r.success = reply->success;
+                      r.last_idx = static_cast<uint8_t>(reply->last_idx);
+                      if (s2.message_count(r) <= s1.message_count(r))
+                      {
+                        return;
+                      }
+                    }
+                    emit(s2);
+                  });
+              });
+            }
+          };
+          break;
+
+        case EventKind::CompactLedger:
+          // CompactLog only moves the ghost watermark; the logged
+          // post-state (term, log length, commit) is unchanged by it.
+          line.expand = [e, p, node](const State& s, const Emit<State>& emit) {
+            actions::compact_log(
+              p, s, node, static_cast<uint8_t>(e.last_idx),
+              [&](const State& s2) {
+                if (post_state_matches(s2, e))
+                {
+                  emit(s2);
+                }
+              });
+            // Stuttering variant: an install (recvIS) both sets the
+            // watermark and logs a separate compact line on some hosts;
+            // accept the already-compacted state.
+            if (
+              s.node(node).snap_idx >= e.last_idx && pre_state_matches(s, e))
+            {
+              emit(s);
+            }
+          };
+          break;
+
         case EventKind::Bootstrap:
           // Preprocessing strips these; tolerate as stuttering if present.
           line.expand = [](const State& s, const Emit<State>& emit) {
@@ -598,9 +686,11 @@ namespace scv::trace
       const std::vector<TraceEvent>& events, size_t index)
     {
       const TraceEvent& e = events[index];
-      const EventKind wanted = e.kind == EventKind::RecvAppendEntries ?
-        EventKind::SendAppendEntriesResponse :
-        EventKind::SendRequestVoteResponse;
+      // Snapshot installs are acknowledged with an ordinary
+      // AppendEntries response, so recvIS expects the same reply kind.
+      const EventKind wanted = e.kind == EventKind::RecvRequestVote ?
+        EventKind::SendRequestVoteResponse :
+        EventKind::SendAppendEntriesResponse;
       for (size_t k = index + 1; k < events.size(); ++k)
       {
         if (events[k].node != e.node)
@@ -637,7 +727,8 @@ namespace scv::trace
       std::optional<TraceEvent> reply;
       if (
         events[i].kind == EventKind::RecvAppendEntries ||
-        events[i].kind == EventKind::RecvRequestVote)
+        events[i].kind == EventKind::RecvRequestVote ||
+        events[i].kind == EventKind::RecvInstallSnapshot)
       {
         reply = reply_lookahead_for(events, i);
       }

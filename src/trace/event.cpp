@@ -15,7 +15,7 @@ namespace scv::trace
 
     // Short names follow the paper's log-statement vocabulary (sndAE,
     // recvAE, ...).
-    constexpr std::array<KindName, 21> kind_names = {{
+    constexpr std::array<KindName, 24> kind_names = {{
       {EventKind::Bootstrap, "bootstrap"},
       {EventKind::SendAppendEntries, "sndAE"},
       {EventKind::RecvAppendEntries, "recvAE"},
@@ -37,6 +37,9 @@ namespace scv::trace
       {EventKind::CheckQuorumStepDown, "checkQuorum"},
       {EventKind::Rollback, "rollback"},
       {EventKind::Retire, "retire"},
+      {EventKind::SendInstallSnapshot, "sndIS"},
+      {EventKind::RecvInstallSnapshot, "recvIS"},
+      {EventKind::CompactLedger, "compact"},
     }};
   }
 

@@ -45,6 +45,14 @@ namespace scv::trace
     CheckQuorumStepDown,
     Rollback,
     Retire,
+    /// Leader offers its covering snapshot to a lagging follower
+    /// (last_idx = snapshot index, prev_term = snapshot term).
+    SendInstallSnapshot,
+    /// Follower receives the offer (pre-state; fields mirror the send).
+    RecvInstallSnapshot,
+    /// Node drops entry bodies at and below its snapshot
+    /// (last_idx = compaction point).
+    CompactLedger,
   };
 
   const char* to_string(EventKind kind);

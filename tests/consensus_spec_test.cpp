@@ -402,6 +402,184 @@ TEST(ConsensusSpecMC, EveryActionIsExercised)
   }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshots & catch-up (ghost-log compaction). The snapshot action family
+// is gated behind Params::enable_snapshots so the models above keep their
+// original state spaces; these tests turn it on.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+  /// Single-node initial configuration growing to {1,2}: the shape of a
+  /// join-from-snapshot. Node 2 starts as a passive joiner; a stale NACK
+  /// from an earlier probe rolls the leader's send window below a later
+  /// compaction point, which is what arms SendSnapshot.
+  Params snapshot_join_model()
+  {
+    Params p;
+    p.n_nodes = 2;
+    p.initial_config = 0b01;
+    p.initial_leader = 1;
+    p.max_term = 1; // no elections: isolate the snapshot machinery
+    p.max_requests = 0;
+    p.max_log_len = 4; // bootstrap + reconfig + signature, nothing else
+    p.max_batch = 2;
+    p.max_network = 2;
+    p.max_copies = 1;
+    p.allowed_reconfigs = {0b11};
+    p.enable_snapshots = true;
+    return p;
+  }
+}
+
+TEST(ConsensusSpecMC, SnapshotJoinModelExhaustivelySafe)
+{
+  // Exhaustive checking of the snapshot-enabled model: every invariant
+  // (including SnapshotInv and MonotonicSnapshotProp) holds across the
+  // complete bounded state space, and the whole snapshot family
+  // (CompactLog, SendSnapshot, HandleInstallSnapshotRequest) fires.
+  const Params p = snapshot_join_model();
+  const auto spec = build_spec(p);
+  CheckLimits limits;
+  limits.max_distinct_states = 2'000'000;
+  limits.time_budget_seconds = 600.0;
+  const auto result = model_check(spec, limits);
+  EXPECT_TRUE(result.ok)
+    << (result.counterexample ? result.counterexample->to_string() : "");
+  EXPECT_TRUE(result.stats.complete)
+    << result.stats.summary() << "\n"
+    << result.stats.coverage_report();
+  const auto& coverage = result.stats.action_coverage;
+  for (const char* name :
+       {"CompactLog", "SendSnapshot", "HandleInstallSnapshotRequest"})
+  {
+    const auto it = coverage.find(name);
+    EXPECT_TRUE(it != coverage.end() && it->second > 0) << name;
+  }
+}
+
+TEST(ConsensusSpec, SnapshotOfferInstallAndCatchUp)
+{
+  // Directed walk through the whole catch-up pipeline: the leader commits
+  // past the bootstrap prefix, compacts, adds a lagging node whose NACK
+  // re-opens the send window below the compaction point; AppendEntries is
+  // then disabled toward that node (the window's bodies are gone) and
+  // SendSnapshot takes over; the joiner installs and catches up via
+  // ordinary AppendEntries above the watermark.
+  namespace a = actions;
+  Params p;
+  p.n_nodes = 3;
+  p.initial_config = 0b011;
+  p.initial_leader = 1;
+  p.max_term = 1;
+  p.max_requests = 1;
+  p.max_log_len = 6;
+  p.max_batch = 2;
+  p.max_network = 3;
+  p.max_copies = 1;
+  p.allowed_reconfigs = {0b111};
+  p.enable_snapshots = true;
+
+  State s = initial_state(p);
+  const auto step = [&](auto fn) { s = must_step(s, fn); };
+
+  // Commit a request + signature on {1,2} (indices 3 and 4).
+  step([&](const State& st, const Emit<State>& e) {
+    a::client_request(p, st, 1, e);
+  });
+  step([&](const State& st, const Emit<State>& e) { a::sign(p, st, 1, e); });
+  step([&](const State& st, const Emit<State>& e) {
+    a::append_entries(p, st, 1, 2, 2, e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_request(p, st, 2, find_msg(st, MType::AeReq, 1, 2), e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_response(p, st, 1, find_msg(st, MType::AeResp, 2, 1), e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::advance_commit(p, st, 1, e);
+  });
+  EXPECT_EQ(s.node(1).commit_index, 4u);
+
+  // Compact at the committed signature: watermark only, log retained.
+  step([&](const State& st, const Emit<State>& e) {
+    a::compact_log(p, st, 1, 4, e);
+  });
+  EXPECT_EQ(s.node(1).snap_idx, 4u);
+  EXPECT_EQ(s.node(1).snap_term, 1u);
+  EXPECT_EQ(s.node(1).len(), 4u); // ghost log: content stays
+
+  // Add node 3; the optimistic probe NACKs back to the joiner's
+  // bootstrap prefix, landing the send window below the watermark.
+  step([&](const State& st, const Emit<State>& e) {
+    a::change_configuration(p, st, 1, 0b111, e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::append_entries(p, st, 1, 3, 0, e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_request(p, st, 3, find_msg(st, MType::AeReq, 1, 3), e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_response(p, st, 1, find_msg(st, MType::AeResp, 3, 1), e);
+  });
+  EXPECT_EQ(s.node(1).sent_index[2], 2u);
+
+  // The send window is below the compaction point: AppendEntries is
+  // disabled toward node 3, SendSnapshot is the only way forward.
+  expect_disabled(s, [&](const State& st, const Emit<State>& e) {
+    a::append_entries(p, st, 1, 3, -1, e);
+  });
+  // Node 2 is fully caught up: no snapshot offer there.
+  expect_disabled(s, [&](const State& st, const Emit<State>& e) {
+    a::send_snapshot(p, st, 1, 2, e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::send_snapshot(p, st, 1, 3, e);
+  });
+  const SpecMessage offer = find_msg(s, MType::InstallSnap, 1, 3);
+  EXPECT_EQ(offer.last_idx, 4u);
+  EXPECT_EQ(offer.prev_term, 1u);
+  EXPECT_EQ(offer.entries.size(), 4u); // the ghost prefix rides along
+  EXPECT_EQ(s.node(1).sent_index[2], 4u); // optimistic advance
+
+  // The joiner installs: log replaced by the prefix, commit/watermark at
+  // the snapshot index, ACKed with an ordinary AppendEntries response.
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_install_snapshot(
+      p, st, 3, find_msg(st, MType::InstallSnap, 1, 3), e);
+  });
+  EXPECT_EQ(s.node(3).len(), 4u);
+  EXPECT_EQ(s.node(3).commit_index, 4u);
+  EXPECT_EQ(s.node(3).snap_idx, 4u);
+  EXPECT_EQ(s.node(3).snap_term, 1u);
+  const SpecMessage ack = find_msg(s, MType::AeResp, 3, 1);
+  EXPECT_TRUE(ack.success);
+  EXPECT_EQ(ack.last_idx, 4u);
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_response(p, st, 1, find_msg(st, MType::AeResp, 3, 1), e);
+  });
+  EXPECT_EQ(s.node(1).match_index[2], 4u);
+
+  // Above the watermark, ordinary replication resumes: node 3 receives
+  // the pending reconfiguration and becomes an active member.
+  step([&](const State& st, const Emit<State>& e) {
+    a::append_entries(p, st, 1, 3, 1, e);
+  });
+  step([&](const State& st, const Emit<State>& e) {
+    a::handle_ae_request(p, st, 3, find_msg(st, MType::AeReq, 1, 3), e);
+  });
+  EXPECT_EQ(s.node(3).len(), 5u);
+  EXPECT_EQ(s.node(3).membership, SMembership::Active);
+
+  // The final state satisfies every invariant, snapshot ones included.
+  for (const auto& inv : build_invariants(p))
+  {
+    EXPECT_TRUE(inv.check(s)) << inv.name;
+  }
+}
+
 TEST(ConsensusSpecReachability, RetirementCompletionIsReachable)
 {
   // find_reachable packages the "assert the negation" trick: the paper's

@@ -188,6 +188,61 @@ TEST(ScenarioDsl, CrashRestartRecoversFromLedger)
   EXPECT_TRUE(r.ok) << err(r);
 }
 
+TEST(ScenarioDsl, JoinFromSnapshotCatchesUpAcrossTheHole)
+{
+  // The out-of-band join: the joiner boots directly from the leader's
+  // snapshot (holed ledger + KV image) and only needs the suffix.
+  const auto r = run(R"(
+    nodes 1 2 3
+    seed 17
+    submit pre
+    sign
+    tick 40
+    join-from-snapshot 4
+    reconfigure 1,2,3,4
+    sign
+    tick 140
+    expect-commit 4 6
+    expect-kv 4 app.3 pre
+    check
+  )");
+  EXPECT_TRUE(r.ok) << err(r);
+}
+
+TEST(ScenarioDsl, SnapshotAndCompactOpsTolerateDegenerateTargets)
+{
+  // `snapshot`/`compact` are tolerant no-ops on crashed nodes (schedule
+  // shrinking may orphan them), but unknown ids are still script errors,
+  // and `join-from-snapshot` of an existing id is rejected.
+  const auto ok = run(R"(
+    nodes 1 2 3
+    submit pre
+    sign
+    tick 40
+    crash 2
+    snapshot 2
+    compact leader
+    tick 20
+    check
+  )");
+  EXPECT_TRUE(ok.ok) << err(ok);
+
+  const auto unknown = run(R"(
+    nodes 1 2 3
+    snapshot 9
+  )");
+  EXPECT_FALSE(unknown.ok);
+
+  const auto duplicate = run(R"(
+    nodes 1 2 3
+    submit pre
+    sign
+    tick 40
+    join-from-snapshot 2
+  )");
+  EXPECT_FALSE(duplicate.ok);
+}
+
 TEST(ScenarioDsl, RestartIsNoOpWhenNotCrashed)
 {
   // Shrinking can strand a restart without its crash; the DSL tolerates
@@ -309,7 +364,8 @@ TEST(ScenarioDsl, ShippedScenarioFilesPassAndValidate)
   // one must execute cleanly.
   const std::vector<std::string> files = {
     "replication", "election", "checkquorum", "reconfiguration",
-    "retirement", "lossy", "crashrestart", "flaky_network"};
+    "retirement", "lossy", "crashrestart", "flaky_network",
+    "snapshot_join", "compaction_recovery"};
   for (const auto& name : files)
   {
     ScenarioRunner runner;
